@@ -1,0 +1,130 @@
+// Benchmarks regenerating each of the paper's tables and figures at a
+// reduced workload scale. Run the full-scale versions with cmd/exps;
+// these benches exist so `go test -bench=.` exercises every experiment
+// path and reports its headline metric.
+package mediasmt_test
+
+import (
+	"testing"
+
+	"mediasmt/internal/core"
+	"mediasmt/internal/exp"
+	"mediasmt/internal/mem"
+	"mediasmt/internal/sim"
+)
+
+// benchScale keeps every benchmark iteration in the tens of
+// milliseconds; the experiment harness defaults to scale 1.0.
+const benchScale = 0.04
+
+func benchRun(b *testing.B, isa core.ISAKind, threads int, pol core.Policy, mode mem.Mode) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := sim.Run(sim.Config{
+			ISA: isa, Threads: threads, Policy: pol, Memory: mode,
+			Scale: benchScale, Seed: 42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.EIPC, "EIPC")
+		b.ReportMetric(float64(r.Core.Committed), "insts")
+	}
+}
+
+// BenchmarkTable1Config exercises the Table 1 configuration builder.
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, th := range []int{1, 2, 4, 8} {
+			cfg := core.ConfigForThreads(core.ISAMOM, th)
+			if err := cfg.Validate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable3Breakdown regenerates the instruction-mix census.
+func BenchmarkTable3Breakdown(b *testing.B) {
+	s := exp.NewSuite(exp.Options{Scale: benchScale})
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4PerfectCache: one point per sub-benchmark of the
+// ideal-memory curves (Figure 4).
+func BenchmarkFig4PerfectCache(b *testing.B) {
+	b.Run("mmx-1T", func(b *testing.B) { benchRun(b, core.ISAMMX, 1, core.PolicyRR, mem.ModeIdeal) })
+	b.Run("mmx-8T", func(b *testing.B) { benchRun(b, core.ISAMMX, 8, core.PolicyRR, mem.ModeIdeal) })
+	b.Run("mom-1T", func(b *testing.B) { benchRun(b, core.ISAMOM, 1, core.PolicyRR, mem.ModeIdeal) })
+	b.Run("mom-8T", func(b *testing.B) { benchRun(b, core.ISAMOM, 8, core.PolicyRR, mem.ModeIdeal) })
+}
+
+// BenchmarkFig5RealMemory: the conventional-hierarchy curves (Figure 5).
+func BenchmarkFig5RealMemory(b *testing.B) {
+	b.Run("mmx-4T", func(b *testing.B) { benchRun(b, core.ISAMMX, 4, core.PolicyRR, mem.ModeConventional) })
+	b.Run("mmx-8T", func(b *testing.B) { benchRun(b, core.ISAMMX, 8, core.PolicyRR, mem.ModeConventional) })
+	b.Run("mom-4T", func(b *testing.B) { benchRun(b, core.ISAMOM, 4, core.PolicyRR, mem.ModeConventional) })
+	b.Run("mom-8T", func(b *testing.B) { benchRun(b, core.ISAMOM, 8, core.PolicyRR, mem.ModeConventional) })
+}
+
+// BenchmarkTable4CacheRates measures the cache-behaviour run of Table 4
+// and reports the hit rates as metrics.
+func BenchmarkTable4CacheRates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := sim.Run(sim.Config{
+			ISA: core.ISAMMX, Threads: 8, Policy: core.PolicyRR,
+			Memory: mem.ModeConventional, Scale: benchScale, Seed: 42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Mem.L1HitRate(), "L1hit%")
+		b.ReportMetric(100*r.Mem.ICHitRate(), "IChit%")
+		b.ReportMetric(r.Mem.AvgL1LoadLat(), "L1lat")
+	}
+}
+
+// BenchmarkFig6FetchPolicies: fetch-policy study points (Figure 6).
+func BenchmarkFig6FetchPolicies(b *testing.B) {
+	b.Run("mmx-8T-IC", func(b *testing.B) { benchRun(b, core.ISAMMX, 8, core.PolicyICOUNT, mem.ModeConventional) })
+	b.Run("mom-8T-OC", func(b *testing.B) { benchRun(b, core.ISAMOM, 8, core.PolicyOCOUNT, mem.ModeConventional) })
+	b.Run("mom-8T-BL", func(b *testing.B) { benchRun(b, core.ISAMOM, 8, core.PolicyBALANCE, mem.ModeConventional) })
+}
+
+// BenchmarkFig8Decoupled: fetch policies under the decoupled hierarchy.
+func BenchmarkFig8Decoupled(b *testing.B) {
+	b.Run("mmx-8T-IC", func(b *testing.B) { benchRun(b, core.ISAMMX, 8, core.PolicyICOUNT, mem.ModeDecoupled) })
+	b.Run("mom-8T-OC", func(b *testing.B) { benchRun(b, core.ISAMOM, 8, core.PolicyOCOUNT, mem.ModeDecoupled) })
+}
+
+// BenchmarkFig9Hierarchies: the three memory organizations at 8 threads
+// with each model's best policy (Figure 9).
+func BenchmarkFig9Hierarchies(b *testing.B) {
+	b.Run("mom-ideal", func(b *testing.B) { benchRun(b, core.ISAMOM, 8, core.PolicyOCOUNT, mem.ModeIdeal) })
+	b.Run("mom-conv", func(b *testing.B) { benchRun(b, core.ISAMOM, 8, core.PolicyOCOUNT, mem.ModeConventional) })
+	b.Run("mom-decoupled", func(b *testing.B) { benchRun(b, core.ISAMOM, 8, core.PolicyOCOUNT, mem.ModeDecoupled) })
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed
+// (simulated instructions per wall second) for profiling the simulator
+// itself.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var insts, cycles int64
+	for i := 0; i < b.N; i++ {
+		r, err := sim.Run(sim.Config{
+			ISA: core.ISAMMX, Threads: 4, Policy: core.PolicyRR,
+			Memory: mem.ModeConventional, Scale: benchScale, Seed: 42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += r.Core.Committed
+		cycles += r.Cycles
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "siminsts/s")
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+}

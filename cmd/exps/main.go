@@ -1,0 +1,49 @@
+// Command exps regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	exps [-run table3,fig4,...|all] [-scale 1.0] [-seed 12345]
+//
+// Each experiment prints a fixed-width table with the measured values
+// next to the paper's reported numbers where applicable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mediasmt/internal/exp"
+)
+
+func main() {
+	runList := flag.String("run", "all", "comma-separated experiment ids or 'all' ("+strings.Join(exp.IDs(), ", ")+")")
+	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = 1/1000 of the paper's instruction counts)")
+	seed := flag.Uint64("seed", 12345, "simulation seed")
+	flag.Parse()
+
+	suite := exp.NewSuite(exp.Options{Scale: *scale, Seed: *seed})
+
+	var ids []string
+	if *runList == "all" {
+		ids = exp.IDs()
+	} else {
+		ids = strings.Split(*runList, ",")
+	}
+	for _, id := range ids {
+		e, ok := exp.ByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "exps: unknown experiment %q (have: %s)\n", id, strings.Join(exp.IDs(), ", "))
+			os.Exit(2)
+		}
+		start := time.Now()
+		out, err := e.Run(suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "exps: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s — %s (%.1fs)\n\n%s\n", e.ID, e.Title, time.Since(start).Seconds(), out)
+	}
+}

@@ -1,0 +1,103 @@
+// Command smtsim runs one multiprogrammed simulation and prints a
+// detailed report: throughput (IPC / Equivalent IPC), pipeline
+// statistics and memory-system behaviour.
+//
+// Usage:
+//
+//	smtsim [-isa mmx|mom] [-threads N] [-policy rr|ic|oc|bl]
+//	       [-mem ideal|conventional|decoupled] [-scale F] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mediasmt/internal/core"
+	"mediasmt/internal/mem"
+	"mediasmt/internal/sim"
+)
+
+func main() {
+	isaFlag := flag.String("isa", "mmx", "media ISA: mmx or mom")
+	threads := flag.Int("threads", 4, "hardware contexts (1, 2, 4 or 8)")
+	policy := flag.String("policy", "rr", "fetch policy: rr, ic, oc or bl")
+	memFlag := flag.String("mem", "conventional", "memory system: ideal, conventional or decoupled")
+	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = 1/1000 of the paper's run)")
+	seed := flag.Uint64("seed", 12345, "simulation seed")
+	flag.Parse()
+
+	cfg := sim.Config{Threads: *threads, Scale: *scale, Seed: *seed}
+
+	switch *isaFlag {
+	case "mmx":
+		cfg.ISA = core.ISAMMX
+	case "mom":
+		cfg.ISA = core.ISAMOM
+	default:
+		fmt.Fprintf(os.Stderr, "smtsim: unknown isa %q\n", *isaFlag)
+		os.Exit(2)
+	}
+	switch *policy {
+	case "rr":
+		cfg.Policy = core.PolicyRR
+	case "ic":
+		cfg.Policy = core.PolicyICOUNT
+	case "oc":
+		cfg.Policy = core.PolicyOCOUNT
+	case "bl":
+		cfg.Policy = core.PolicyBALANCE
+	default:
+		fmt.Fprintf(os.Stderr, "smtsim: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+	switch *memFlag {
+	case "ideal":
+		cfg.Memory = mem.ModeIdeal
+	case "conventional":
+		cfg.Memory = mem.ModeConventional
+	case "decoupled":
+		cfg.Memory = mem.ModeDecoupled
+	default:
+		fmt.Fprintf(os.Stderr, "smtsim: unknown memory mode %q\n", *memFlag)
+		os.Exit(2)
+	}
+
+	r, err := sim.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smtsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	c, m := r.Core, r.Mem
+	fmt.Printf("config: %s, %d threads, %s fetch, %s memory, scale %.2f\n",
+		cfg.ISA, cfg.Threads, cfg.Policy, cfg.Memory, *scale)
+	fmt.Printf("programs: %d primaries completed, %d instances started\n", r.Completed, r.Started)
+	fmt.Printf("cycles: %d\n", r.Cycles)
+	fmt.Printf("throughput: IPC %.3f  equivalent-IPC %.3f  EIPC %.3f\n", r.IPC, r.EquivIPC, r.EIPC)
+	fmt.Printf("committed: %d (%d stream-expanded)\n", c.Committed, c.CommittedEquiv)
+	fmt.Printf("branches: %.1f%% prediction accuracy (%d mispredicts / %d conditional)\n",
+		100*c.PredAccuracy(), c.Mispredicts, c.CondBranches)
+	fmt.Printf("issue cycles: %.1f%% only-scalar, %.1f%% only-vector, %.1f%% mixed, %.1f%% idle\n",
+		pct(c.CyclesOnlyScalar, r.Cycles), pct(c.CyclesOnlyVector, r.Cycles),
+		pct(c.CyclesMixed, r.Cycles), pct(c.CyclesNoIssue, r.Cycles))
+	fmt.Printf("dispatch stalls: window %d, rename %d, queues %d\n", c.ROBStalls, c.RenameStalls, c.QueueStalls)
+	fmt.Printf("I-cache: %.2f%% hit\n", 100*m.ICHitRate())
+	fmt.Printf("L1: %.2f%% hit (%d delayed, %d prefetches), avg load latency %.2f cycles\n",
+		100*m.L1HitRate(), m.L1DelayedHits, m.L1Prefetches, m.AvgL1LoadLat())
+	fmt.Printf("L2: %.2f%% hit; DRAM: %d reads, %d writes, %.1f%% row hits\n",
+		100*m.L2HitRate(), m.DRAMReads, m.DRAMWrites, 100*m.DRAMRowHitRate())
+	fmt.Printf("contention: %d bank conflicts, %d port rejects, %d MSHR-full, %d WB-full\n",
+		m.L1BankConflicts, m.PortRejects, m.MSHRFull, m.WBFull)
+	if cfg.Memory == mem.ModeDecoupled {
+		fmt.Printf("vector path: %d wide L2 accesses, %d coherence invalidations, avg element latency %.1f\n",
+			m.VecL2Direct, m.VecInvalidations, m.AvgVecLoadLat())
+	}
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

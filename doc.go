@@ -1,0 +1,12 @@
+// Package mediasmt is a cycle-level simulator reproducing Corbal,
+// Espasa and Valero, "DLP + TLP Processors for the Next Generation of
+// Media Workloads" (HPCA 2001): simultaneous multithreading processors
+// extended with either a conventional MMX-like μ-SIMD instruction set
+// or the MOM streaming vector μ-SIMD instruction set, evaluated on a
+// multiprogrammed MPEG-4-style media workload over ideal, conventional
+// and decoupled memory hierarchies.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-versus-measured results, cmd/exps for regenerating every table
+// and figure, and examples/ for runnable usage of the public packages.
+package mediasmt

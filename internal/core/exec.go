@@ -1,0 +1,370 @@
+package core
+
+import (
+	"mediasmt/internal/isa"
+	"mediasmt/internal/mem"
+)
+
+// drainMemory collects finished load elements from the memory system
+// and completes loads whose last element arrived.
+func (p *Processor) drainMemory(now int64) {
+	p.memsys.Drain(now, func(c mem.Completion) {
+		u, ok := p.loadsByTag[c.Tag]
+		if !ok {
+			return
+		}
+		u.elemsDone++
+		if u.elemsDone == u.elemsTotal {
+			delete(p.loadsByTag, c.Tag)
+			p.complete(u, now)
+		}
+	})
+}
+
+// writeback completes scheduled operations whose results are ready.
+func (p *Processor) writeback(now int64) {
+	w := 0
+	for _, u := range p.inflight {
+		if u.doneAt <= now {
+			p.complete(u, now)
+		} else {
+			p.inflight[w] = u
+			w++
+		}
+	}
+	p.inflight = p.inflight[:w]
+}
+
+// complete retires an operation from the execution core: its result
+// becomes visible, dependents wake, and a mispredicted branch restarts
+// its thread's fetch after the redirect penalty.
+func (p *Processor) complete(u *uop, now int64) {
+	u.completed = true
+	if u.dstPhys >= 0 {
+		p.rf.setReady(u.dstFile, u.dstPhys)
+	}
+	if u.info.Unit == isa.UnitMedia {
+		p.simdInFlight--
+	}
+	if u.mispred {
+		th := p.threads[u.thread]
+		th.fetchBlocked = false
+		th.stallUntil = now + int64(p.cfg.BranchPenalty)
+	}
+}
+
+// ready reports whether all of a uop's source registers are available.
+func (p *Processor) ready(u *uop) bool {
+	for i := 0; i < u.nsrc; i++ {
+		if u.srcPhys[i] >= 0 && !p.rf.isReady(u.srcFile[i], u.srcPhys[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// issue scans the four queues oldest-first and starts every ready
+// operation the functional units can accept this cycle.
+func (p *Processor) issue(now int64) {
+	p.issueInt(now)
+	p.issueFP(now)
+	p.issueSIMD(now)
+	p.issueMem(now)
+}
+
+func (p *Processor) noteIssued(u *uop) {
+	th := p.threads[u.thread]
+	th.frontCount--
+	th.opCount -= int(u.equiv())
+	u.issued = true
+}
+
+func compactQueue(q []*uop) []*uop {
+	w := 0
+	for _, u := range q {
+		if !u.issued {
+			q[w] = u
+			w++
+		}
+	}
+	return q[:w]
+}
+
+func (p *Processor) issueInt(now int64) {
+	alus, muls, issued := 0, 0, 0
+	for _, u := range p.qInt {
+		if issued >= p.cfg.IssueInt {
+			break
+		}
+		if !p.ready(u) {
+			continue
+		}
+		switch u.info.Unit {
+		case isa.UnitIMul:
+			if muls >= p.cfg.IntMuls {
+				continue
+			}
+			muls++
+		default:
+			if alus >= p.cfg.IntALUs {
+				continue
+			}
+			alus++
+		}
+		p.noteIssued(u)
+		u.doneAt = now + int64(u.info.Lat)
+		p.inflight = append(p.inflight, u)
+		issued++
+		p.intIssuedNow++
+	}
+	p.qInt = compactQueue(p.qInt)
+}
+
+func (p *Processor) issueFP(now int64) {
+	adds, mulsUsed, issued := 0, 0, 0
+	for _, u := range p.qFP {
+		if issued >= p.cfg.IssueFP {
+			break
+		}
+		if !p.ready(u) {
+			continue
+		}
+		switch u.info.Unit {
+		case isa.UnitFPDiv:
+			// Unpipelined divide/sqrt: find a free unit.
+			unit := -1
+			for i, b := range p.fpDivBusyUntil {
+				if b <= now {
+					unit = i
+					break
+				}
+			}
+			if unit < 0 {
+				continue
+			}
+			p.fpDivBusyUntil[unit] = now + int64(u.info.II)
+		case isa.UnitFPMul:
+			if mulsUsed >= p.cfg.FPMuls {
+				continue
+			}
+			mulsUsed++
+		default:
+			if adds >= p.cfg.FPAdds {
+				continue
+			}
+			adds++
+		}
+		p.noteIssued(u)
+		u.doneAt = now + int64(u.info.Lat)
+		p.inflight = append(p.inflight, u)
+		issued++
+	}
+	p.qFP = compactQueue(p.qFP)
+}
+
+// issueSIMD starts media operations. With the MMX configuration two
+// independent pipelined media units accept up to two operations per
+// cycle. With the MOM configuration a single media unit with
+// MediaPipes parallel vector pipes accepts one stream instruction,
+// which occupies the unit for ceil(SLen/pipes) cycles and delivers its
+// last sub-operation result after that occupancy plus the op latency.
+func (p *Processor) issueSIMD(now int64) {
+	issued := 0
+	for _, u := range p.qSIMD {
+		if issued >= p.cfg.IssueSIMD {
+			break
+		}
+		if !p.ready(u) {
+			continue
+		}
+		unit := -1
+		for i, b := range p.mediaBusyUntil {
+			if b <= now {
+				unit = i
+				break
+			}
+		}
+		if unit < 0 {
+			break
+		}
+		occ := int64(1)
+		if u.info.Stream && u.in.SLen > 1 {
+			pipes := int64(p.cfg.MediaPipes)
+			occ = (int64(u.in.SLen) + pipes - 1) / pipes
+		}
+		p.mediaBusyUntil[unit] = now + occ
+		p.noteIssued(u)
+		u.doneAt = now + int64(u.info.Lat) + occ - 1
+		p.inflight = append(p.inflight, u)
+		p.simdInFlight++
+		issued++
+		p.simdIssuedNow++
+	}
+	p.qSIMD = compactQueue(p.qSIMD)
+}
+
+// issueMem starts memory operations: one cycle of address generation,
+// then loads stream their element accesses into the memory system
+// while stores complete (their data drains into the write buffer at
+// commit). A load whose line matches an older in-flight store of the
+// same thread forwards from the store queue.
+func (p *Processor) issueMem(now int64) {
+	issued := 0
+	for _, u := range p.qMem {
+		if issued >= p.cfg.IssueMem {
+			break
+		}
+		if !p.ready(u) {
+			continue
+		}
+		p.noteIssued(u)
+		issued++
+		u.addrReadyAt = now + 1
+		if u.isStore {
+			u.doneAt = now + 1
+			p.inflight = append(p.inflight, u)
+			continue
+		}
+		// Load: try store-to-load forwarding (scalar loads only; vector
+		// element granularity makes forwarding impractical in hardware
+		// of this era, so streams always go to memory).
+		if !u.isVector {
+			if st := p.forwardingStore(u); st != nil {
+				u.forwarded = true
+				p.st.LoadsForwarded++
+				d := st.addrReadyAt + 1
+				if d < now+2 {
+					d = now + 2
+				}
+				u.doneAt = d
+				p.inflight = append(p.inflight, u)
+				continue
+			}
+		}
+		p.loadsByTag[u.seq] = u
+		p.activeLoads = append(p.activeLoads, u)
+	}
+	p.qMem = compactQueue(p.qMem)
+}
+
+// forwardingStore returns the youngest older issued store of the same
+// thread whose line matches the load, if any.
+func (p *Processor) forwardingStore(ld *uop) *uop {
+	const lineMask = ^uint64(31)
+	th := p.threads[ld.thread]
+	var best *uop
+	for _, st := range th.pendingStores {
+		if st.seq >= ld.seq || !st.issued {
+			continue
+		}
+		if st.in.Addr&lineMask == ld.in.Addr&lineMask {
+			if best == nil || st.seq > best.seq {
+				best = st
+			}
+		}
+	}
+	return best
+}
+
+// sendLoadElements pushes pending load element accesses into the
+// memory system, oldest load first, as long as ports accept them.
+func (p *Processor) sendLoadElements(now int64) {
+	w := 0
+	for _, u := range p.activeLoads {
+		if now >= u.addrReadyAt {
+			for u.elemsSent < u.elemsTotal {
+				addr := u.in.Addr + uint64(u.elemsSent)*uint64(u.in.Stride)
+				ok := p.memsys.Access(now, mem.Request{
+					Tag:    u.seq,
+					Addr:   addr,
+					Thread: uint8(u.thread),
+					Vector: u.isVector,
+				})
+				if !ok {
+					break
+				}
+				u.elemsSent++
+				p.st.LoadElemSent++
+			}
+		}
+		if u.elemsSent < u.elemsTotal {
+			p.activeLoads[w] = u
+			w++
+		}
+	}
+	p.activeLoads = p.activeLoads[:w]
+}
+
+// commit retires completed instructions in order within each thread,
+// round-robin across threads, up to CommitWidth per cycle. Stores
+// drain their elements into the write buffer here (write-through at
+// retirement); a store blocks its thread's commit until all elements
+// are accepted.
+func (p *Processor) commit(now int64) {
+	budget := p.cfg.CommitWidth
+	n := p.cfg.Threads
+	for round := 0; budget > 0; round++ {
+		progress := false
+		for i := 0; i < n && budget > 0; i++ {
+			th := p.threads[(p.rr+i)%n]
+			u := th.robPeek()
+			if u == nil || !u.completed {
+				continue
+			}
+			if u.isStore && !p.drainStore(now, u) {
+				continue
+			}
+			p.retire(th, u)
+			budget--
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+}
+
+// drainStore sends a committing store's element accesses; it reports
+// whether the store fully drained.
+func (p *Processor) drainStore(now int64, u *uop) bool {
+	for u.elemsSent < u.elemsTotal {
+		addr := u.in.Addr + uint64(u.elemsSent)*uint64(u.in.Stride)
+		ok := p.memsys.Access(now, mem.Request{
+			Tag:    u.seq,
+			Addr:   addr,
+			Thread: uint8(u.thread),
+			Store:  true,
+			Vector: u.isVector,
+		})
+		if !ok {
+			return false
+		}
+		u.elemsSent++
+		p.st.StoreElemSent++
+	}
+	return true
+}
+
+// retire removes the instruction from the graduation window, frees the
+// previous mapping of its destination and accumulates statistics.
+func (p *Processor) retire(th *threadState, u *uop) {
+	th.robPop()
+	if u.oldDst >= 0 {
+		p.rf.file(u.dstFile).release(u.oldDst)
+	}
+	if u.isStore {
+		for i, st := range th.pendingStores {
+			if st == u {
+				th.pendingStores = append(th.pendingStores[:i], th.pendingStores[i+1:]...)
+				break
+			}
+		}
+	}
+	eq := int64(u.equiv())
+	p.st.Committed++
+	p.st.CommittedEquiv += eq
+	p.st.Weighted += th.factor
+	p.st.CommittedByClass[u.info.Class]++
+	p.st.CommittedEqByCls[u.info.Class] += eq
+	p.st.PerThreadCommitted[th.id]++
+}

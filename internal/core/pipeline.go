@@ -1,0 +1,508 @@
+package core
+
+import (
+	"fmt"
+
+	"mediasmt/internal/isa"
+	"mediasmt/internal/mem"
+	"mediasmt/internal/trace"
+)
+
+// uop is one in-flight instruction.
+type uop struct {
+	in     trace.Inst
+	info   *isa.OpInfo
+	thread int32
+	seq    uint64
+
+	dstFile isa.RegFile
+	dstPhys int32
+	oldDst  int32
+	srcFile [3]isa.RegFile
+	srcPhys [3]int32
+	nsrc    int
+
+	mispred   bool
+	issued    bool
+	completed bool
+	doneAt    int64
+
+	// Memory state.
+	isLoad      bool
+	isStore     bool
+	isVector    bool
+	elemsTotal  int32
+	elemsSent   int32
+	elemsDone   int32
+	addrReadyAt int64
+	forwarded   bool
+}
+
+func (u *uop) equiv() int32 {
+	if u.info.Stream && u.in.SLen > 1 {
+		return int32(u.in.SLen)
+	}
+	return 1
+}
+
+type fqEntry struct {
+	in      trace.Inst
+	mispred bool
+}
+
+// threadState is one hardware context.
+type threadState struct {
+	id      int
+	prog    trace.Program
+	factor  float64
+	pending trace.Inst
+	hasPend bool
+	progEnd bool
+	idle    bool
+
+	fq           []fqEntry
+	fetchBlocked bool
+	stallUntil   int64
+
+	rmap [6][]int32
+
+	rob      []*uop
+	robHead  int
+	robCount int
+
+	frontCount int // ICOUNT: fetched but not yet issued
+	opCount    int // OCOUNT: same, weighted by stream length
+	fetchedVec bool
+
+	pendingStores []*uop
+}
+
+func (t *threadState) robFull() bool { return t.robCount == len(t.rob) }
+
+func (t *threadState) robPush(u *uop) {
+	t.rob[(t.robHead+t.robCount)%len(t.rob)] = u
+	t.robCount++
+}
+
+func (t *threadState) robPeek() *uop {
+	if t.robCount == 0 {
+		return nil
+	}
+	return t.rob[t.robHead]
+}
+
+func (t *threadState) robPop() {
+	t.rob[t.robHead] = nil
+	t.robHead = (t.robHead + 1) % len(t.rob)
+	t.robCount--
+}
+
+// advance pulls the next instruction of the program into the lookahead
+// slot.
+func (t *threadState) advance() {
+	if t.prog == nil || t.progEnd {
+		t.hasPend = false
+		return
+	}
+	if t.prog.Next(&t.pending) {
+		t.hasPend = true
+	} else {
+		t.hasPend = false
+		t.progEnd = true
+	}
+}
+
+// Processor is the SMT out-of-order core.
+type Processor struct {
+	cfg     Config
+	memsys  mem.System
+	pred    *Predictor
+	rf      *regFiles
+	threads []*threadState
+
+	qInt  []*uop
+	qMem  []*uop
+	qFP   []*uop
+	qSIMD []*uop
+
+	inflight    []*uop
+	activeLoads []*uop
+	loadsByTag  map[uint64]*uop
+
+	mediaBusyUntil []int64
+	fpDivBusyUntil []int64
+
+	simdInFlight int
+
+	now     int64
+	seq     uint64
+	rr      int
+	ordBuf  []int
+	keysBuf []int
+
+	// per-cycle issue census
+	intIssuedNow  int
+	simdIssuedNow int
+
+	st Stats
+}
+
+// New builds a processor over the given memory system.
+func New(cfg Config, m mem.System) (*Processor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Processor{
+		cfg:            cfg,
+		memsys:         m,
+		pred:           NewPredictor(cfg.PredTableBits, cfg.PredHistBits, cfg.Threads),
+		rf:             newRegFiles(&cfg),
+		loadsByTag:     make(map[uint64]*uop),
+		mediaBusyUntil: make([]int64, cfg.MediaUnits),
+		fpDivBusyUntil: make([]int64, cfg.FPDivs),
+		ordBuf:         make([]int, cfg.Threads),
+		keysBuf:        make([]int, cfg.Threads),
+	}
+	p.qInt = make([]*uop, 0, cfg.IQSize)
+	p.qMem = make([]*uop, 0, cfg.MQSize)
+	p.qFP = make([]*uop, 0, cfg.FQSize)
+	p.qSIMD = make([]*uop, 0, cfg.SQSize)
+	p.st.PerThreadCommitted = make([]int64, cfg.Threads)
+
+	for i := 0; i < cfg.Threads; i++ {
+		th := &threadState{id: i, idle: true, rob: make([]*uop, cfg.ROBPerThread)}
+		for f := isa.RFInt; f <= isa.RFAcc; f++ {
+			n := isa.LogicalRegs(f)
+			th.rmap[f] = make([]int32, n)
+			for l := 0; l < n; l++ {
+				r, ok := p.rf.file(f).alloc()
+				if !ok {
+					return nil, fmt.Errorf("core: not enough %v physical registers for %d threads", f, cfg.Threads)
+				}
+				p.rf.setReady(f, r)
+				th.rmap[f][l] = r
+			}
+		}
+		p.threads = append(p.threads, th)
+	}
+	return p, nil
+}
+
+// Config returns the processor's configuration.
+func (p *Processor) Config() Config { return p.cfg }
+
+// Stats returns the accumulated statistics.
+func (p *Processor) Stats() *Stats { return &p.st }
+
+// Now returns the current cycle.
+func (p *Processor) Now() int64 { return p.now }
+
+// SetProgram installs a program on a hardware context. factor is the
+// EIPC conversion weight credited per committed instruction of this
+// program (the per-benchmark MMX/MOM instruction-count ratio; 1 for
+// MMX runs). The context must be drained.
+func (p *Processor) SetProgram(ctx int, prog trace.Program, factor float64) {
+	th := p.threads[ctx]
+	if !p.ContextDrained(ctx) {
+		panic(fmt.Sprintf("core: SetProgram on busy context %d", ctx))
+	}
+	th.prog = prog
+	th.factor = factor
+	th.progEnd = false
+	th.idle = prog == nil
+	th.fetchBlocked = false
+	th.stallUntil = p.now
+	th.fq = th.fq[:0]
+	th.frontCount = 0
+	th.opCount = 0
+	th.hasPend = false
+	if prog != nil {
+		th.advance()
+	}
+}
+
+// ContextDrained reports whether a context has no program work left:
+// its program stream is exhausted (or absent) and the pipeline holds
+// none of its instructions.
+func (p *Processor) ContextDrained(ctx int) bool {
+	th := p.threads[ctx]
+	if th.idle {
+		return true
+	}
+	return th.progEnd && !th.hasPend && len(th.fq) == 0 && th.robCount == 0
+}
+
+// Busy reports whether any context still has work.
+func (p *Processor) Busy() bool {
+	for i := range p.threads {
+		if !p.ContextDrained(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// Cycle advances the processor by one clock. Stages run in reverse
+// pipeline order so same-cycle forwarding needs no double buffering.
+func (p *Processor) Cycle() {
+	now := p.now
+	p.intIssuedNow, p.simdIssuedNow = 0, 0
+
+	p.drainMemory(now)
+	p.writeback(now)
+	p.commit(now)
+	p.sendLoadElements(now)
+	p.issue(now)
+	p.dispatch(now)
+	p.fetch(now)
+	p.memsys.Tick(now)
+
+	switch {
+	case p.intIssuedNow == 0 && p.simdIssuedNow == 0:
+		p.st.CyclesNoIssue++
+	case p.simdIssuedNow > 0 && p.intIssuedNow == 0:
+		p.st.CyclesOnlyVector++
+	case p.simdIssuedNow == 0:
+		p.st.CyclesOnlyScalar++
+	default:
+		p.st.CyclesMixed++
+	}
+
+	p.st.Cycles++
+	p.now++
+}
+
+// fetch selects up to FetchGroups threads by the configured policy and
+// pulls up to GroupSize instructions from each, stopping a group at a
+// taken branch. A mispredicted conditional branch blocks the thread's
+// fetch until the branch resolves (the simulator never fetches a wrong
+// path; the misprediction cost is the stall plus the redirect penalty).
+func (p *Processor) fetch(now int64) {
+	order := p.fetchOrder(now)
+	groups := 0
+	for _, ti := range order {
+		if groups >= p.cfg.FetchGroups {
+			break
+		}
+		th := p.threads[ti]
+		if !p.canFetch(th, now) {
+			continue
+		}
+		switch p.memsys.FetchLine(now, ti, th.pending.PC) {
+		case mem.FetchBusy:
+			p.st.FetchConflict++
+			continue
+		case mem.FetchMiss:
+			p.st.ICacheStalls++
+			groups++
+			continue
+		}
+		groups++
+		anyVec := false
+		for n := 0; n < p.cfg.GroupSize && th.hasPend && len(th.fq) < p.cfg.FetchQCap; n++ {
+			in := th.pending
+			inf := in.Op.Info()
+			mispred := false
+			if inf.Branch && inf.Cond {
+				p.st.CondBranches++
+				if p.pred.PredictAndTrain(ti, in.PC, in.Taken) != in.Taken {
+					mispred = true
+					p.st.Mispredicts++
+				}
+			}
+			th.fq = append(th.fq, fqEntry{in: in, mispred: mispred})
+			th.frontCount++
+			th.opCount += instEquiv(&in)
+			if in.Op.IsMMX() || in.Op.IsMOM() {
+				anyVec = true
+			}
+			th.advance()
+			p.st.Fetched++
+			if inf.Branch && (mispred || in.Taken) {
+				if mispred {
+					th.fetchBlocked = true
+				}
+				break
+			}
+		}
+		th.fetchedVec = anyVec
+	}
+	p.rr = (p.rr + 1) % p.cfg.Threads
+}
+
+func instEquiv(in *trace.Inst) int {
+	if in.Op.Info().Stream && in.SLen > 1 {
+		return int(in.SLen)
+	}
+	return 1
+}
+
+func (p *Processor) canFetch(th *threadState, now int64) bool {
+	return !th.idle && th.hasPend && !th.fetchBlocked &&
+		now >= th.stallUntil && p.memsys.FetchReady(th.id) &&
+		len(th.fq)+1 <= p.cfg.FetchQCap
+}
+
+// vecPipeEmpty reports whether the vector pipeline has no work (used
+// by the BALANCE policy).
+func (p *Processor) vecPipeEmpty(now int64) bool {
+	if len(p.qSIMD) > 0 || p.simdInFlight > 0 {
+		return false
+	}
+	for _, b := range p.mediaBusyUntil {
+		if b > now {
+			return false
+		}
+	}
+	return true
+}
+
+// fetchOrder ranks the hardware contexts for this cycle's fetch
+// according to the configured policy.
+func (p *Processor) fetchOrder(now int64) []int {
+	n := p.cfg.Threads
+	order := p.ordBuf[:n]
+	for i := 0; i < n; i++ {
+		order[i] = (p.rr + i) % n
+	}
+	var key func(t int) int
+	switch p.cfg.Policy {
+	case PolicyRR:
+		return order
+	case PolicyICOUNT:
+		key = func(t int) int { return p.threads[t].frontCount }
+	case PolicyOCOUNT:
+		key = func(t int) int { return p.threads[t].opCount }
+	case PolicyBALANCE:
+		empty := p.vecPipeEmpty(now)
+		key = func(t int) int {
+			if p.threads[t].fetchedVec == empty {
+				return 0
+			}
+			return 1
+		}
+	}
+	keys := p.keysBuf[:n]
+	for i, t := range order {
+		keys[i] = key(t)
+	}
+	// Stable insertion sort: ties keep round-robin rotation order.
+	for i := 1; i < n; i++ {
+		t, k := order[i], keys[i]
+		j := i - 1
+		for j >= 0 && keys[j] > k {
+			order[j+1], keys[j+1] = order[j], keys[j]
+			j--
+		}
+		order[j+1], keys[j+1] = t, k
+	}
+	return order
+}
+
+// dispatch renames and inserts fetched instructions into the
+// graduation window and issue queues, in order within each thread,
+// round-robin across threads, up to DecodeWidth per cycle.
+func (p *Processor) dispatch(now int64) {
+	budget := p.cfg.DecodeWidth
+	n := p.cfg.Threads
+	var blocked [32]bool
+	for budget > 0 {
+		progress := false
+		for i := 0; i < n && budget > 0; i++ {
+			ti := (p.rr + i) % n
+			th := p.threads[ti]
+			if blocked[ti] || len(th.fq) == 0 {
+				continue
+			}
+			if !p.dispatchOne(th, now) {
+				blocked[ti] = true // in-order within a thread: stop on stall
+				continue
+			}
+			budget--
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+}
+
+// dispatchOne renames the thread's oldest fetched instruction. It
+// reports false on a structural stall (window, queue or rename pool).
+func (p *Processor) dispatchOne(th *threadState, now int64) bool {
+	if th.robFull() {
+		p.st.ROBStalls++
+		return false
+	}
+	e := th.fq[0]
+	inf := e.in.Op.Info()
+
+	var q *[]*uop
+	var qCap int
+	switch {
+	case inf.Mem != isa.MemNone:
+		q, qCap = &p.qMem, p.cfg.MQSize
+	case inf.Unit == isa.UnitMedia:
+		q, qCap = &p.qSIMD, p.cfg.SQSize
+	case inf.Class == isa.ClassFP:
+		q, qCap = &p.qFP, p.cfg.FQSize
+	default:
+		q, qCap = &p.qInt, p.cfg.IQSize
+	}
+	if len(*q) >= qCap {
+		p.st.QueueStalls++
+		return false
+	}
+
+	u := &uop{
+		in:      e.in,
+		info:    inf,
+		thread:  int32(th.id),
+		mispred: e.mispred,
+		dstPhys: -1,
+		oldDst:  -1,
+	}
+	u.srcPhys[0], u.srcPhys[1], u.srcPhys[2] = -1, -1, -1
+
+	// Rename sources against the current map.
+	for i, r := range [3]isa.Reg{e.in.Src1, e.in.Src2, e.in.Src3} {
+		if r == isa.RegNone {
+			continue
+		}
+		u.srcFile[i] = r.File()
+		u.srcPhys[i] = th.rmap[r.File()][r.Idx()]
+		u.nsrc = i + 1
+	}
+
+	// Allocate the destination.
+	if d := e.in.Dst; d != isa.RegNone {
+		f := d.File()
+		phys, ok := p.rf.file(f).alloc()
+		if !ok {
+			p.st.RenameStalls++
+			return false
+		}
+		u.dstFile = f
+		u.dstPhys = phys
+		u.oldDst = th.rmap[f][d.Idx()]
+		th.rmap[f][d.Idx()] = phys
+	}
+
+	u.seq = p.seq
+	p.seq++
+
+	if inf.Mem != isa.MemNone {
+		u.isLoad = inf.Mem == isa.MemLoad
+		u.isStore = inf.Mem == isa.MemStore
+		u.isVector = e.in.Op.IsMMX() || e.in.Op.IsMOM()
+		u.elemsTotal = int32(e.in.ElemCount())
+	}
+
+	th.fq = th.fq[0:copy(th.fq, th.fq[1:])]
+	th.robPush(u)
+	if u.isStore {
+		th.pendingStores = append(th.pendingStores, u)
+	}
+	*q = append(*q, u)
+	return true
+}

@@ -1,0 +1,55 @@
+package core
+
+// Predictor is a gshare conditional branch predictor with a table of
+// 2-bit saturating counters shared by all threads (as on real SMT
+// hardware, so threads interfere in the tables) and per-thread global
+// history registers.
+type Predictor struct {
+	table    []uint8
+	hist     []uint64
+	tableMsk uint64
+	histMsk  uint64
+}
+
+// NewPredictor builds a predictor with 2^tableBits counters and
+// histBits of per-thread global history.
+func NewPredictor(tableBits, histBits, threads int) *Predictor {
+	p := &Predictor{
+		table:    make([]uint8, 1<<tableBits),
+		hist:     make([]uint64, threads),
+		tableMsk: (1 << tableBits) - 1,
+		histMsk:  (1 << histBits) - 1,
+	}
+	for i := range p.table {
+		p.table[i] = 1 // weakly not-taken
+	}
+	return p
+}
+
+func (p *Predictor) index(thread int, pc uint64) uint64 {
+	return ((pc >> 2) ^ p.hist[thread]) & p.tableMsk
+}
+
+// PredictAndTrain predicts the branch at pc and immediately trains the
+// counter and history with the actual outcome. The simulator is
+// trace-driven and never fetches a wrong path, so training at fetch
+// keeps the history exact; a misprediction still pays the full
+// fetch-stall plus redirect penalty.
+func (p *Predictor) PredictAndTrain(thread int, pc uint64, taken bool) (predicted bool) {
+	i := p.index(thread, pc)
+	c := p.table[i]
+	predicted = c >= 2
+	if taken {
+		if c < 3 {
+			p.table[i] = c + 1
+		}
+	} else if c > 0 {
+		p.table[i] = c - 1
+	}
+	h := p.hist[thread] << 1
+	if taken {
+		h |= 1
+	}
+	p.hist[thread] = h & p.histMsk
+	return predicted
+}

@@ -1,0 +1,77 @@
+package core
+
+import "mediasmt/internal/isa"
+
+// Stats accumulates pipeline statistics for one simulation run.
+type Stats struct {
+	Cycles int64
+
+	// Committed work. Weighted accumulates the per-program EIPC
+	// conversion factor per committed instruction, so that
+	// Weighted/Cycles is the paper's Equivalent IPC for MOM runs (and
+	// plain IPC for MMX runs, whose factor is 1).
+	Committed        int64
+	CommittedEquiv   int64
+	Weighted         float64
+	CommittedByClass [isa.NumClasses]int64
+	CommittedEqByCls [isa.NumClasses]int64
+
+	Fetched       int64
+	CondBranches  int64
+	Mispredicts   int64
+	ICacheStalls  int64
+	FetchConflict int64
+
+	// Dispatch stall causes (counted per blocked attempt).
+	ROBStalls    int64
+	RenameStalls int64
+	QueueStalls  int64
+
+	// Issue-mix census: the paper reports how often execution cycles
+	// run only vector instructions (§5.3).
+	CyclesOnlyVector int64
+	CyclesOnlyScalar int64
+	CyclesMixed      int64
+	CyclesNoIssue    int64
+
+	LoadsForwarded int64
+	StoreElemSent  int64
+	LoadElemSent   int64
+
+	PerThreadCommitted []int64
+	ProgramsFinished   int64
+}
+
+// IPC is committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// EquivIPC is stream-expanded committed instructions per cycle.
+func (s *Stats) EquivIPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.CommittedEquiv) / float64(s.Cycles)
+}
+
+// EIPC is the paper's Equivalent IPC: committed work converted to
+// MMX-instruction units through the per-program dual-ISA instruction
+// ratio (§5.1). For an MMX run it equals IPC.
+func (s *Stats) EIPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return s.Weighted / float64(s.Cycles)
+}
+
+// PredAccuracy is the conditional branch prediction accuracy in [0,1].
+func (s *Stats) PredAccuracy() float64 {
+	if s.CondBranches == 0 {
+		return 1
+	}
+	return 1 - float64(s.Mispredicts)/float64(s.CondBranches)
+}

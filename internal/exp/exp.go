@@ -1,0 +1,171 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation: Table 1 (architectural parameters), Table 2 (workload),
+// Table 3 (instruction breakdown), Figure 4 (perfect cache), Figure 5
+// (real memory), Table 4 (cache behaviour), Figure 6 (fetch policies),
+// Figure 8 (fetch policies under the decoupled hierarchy), Figure 9
+// (hierarchy comparison) and the headline speedup numbers, plus the
+// ablation studies listed in DESIGN.md.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mediasmt/internal/core"
+	"mediasmt/internal/mem"
+	"mediasmt/internal/sim"
+)
+
+// Options configures a suite run.
+type Options struct {
+	// Scale is the workload size relative to 1/1000 of the paper's
+	// instruction counts. Experiments default to 1.0; benchmarks use
+	// smaller values.
+	Scale float64
+	Seed  uint64
+}
+
+// Suite runs experiments, caching simulation results so that
+// experiments sharing configurations (Figure 5 and Table 4, for
+// example) pay for each simulation once.
+type Suite struct {
+	opts  Options
+	cache map[string]*sim.Result
+}
+
+// NewSuite builds a suite.
+func NewSuite(opts Options) *Suite {
+	if opts.Scale <= 0 {
+		opts.Scale = 1
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 12345
+	}
+	return &Suite{opts: opts, cache: make(map[string]*sim.Result)}
+}
+
+// Run executes one cached simulation.
+func (s *Suite) Run(isa core.ISAKind, threads int, pol core.Policy, mode mem.Mode) (*sim.Result, error) {
+	key := fmt.Sprintf("%v/%d/%v/%v", isa, threads, pol, mode)
+	if r, ok := s.cache[key]; ok {
+		return r, nil
+	}
+	r, err := sim.Run(sim.Config{
+		ISA:     isa,
+		Threads: threads,
+		Policy:  pol,
+		Memory:  mode,
+		Scale:   s.opts.Scale,
+		Seed:    s.opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", key, err)
+	}
+	s.cache[key] = r
+	return r, nil
+}
+
+// Experiment is one regenerable artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(*Suite) (string, error)
+}
+
+// Experiments lists every artifact in paper order.
+var Experiments = []Experiment{
+	{"table1", "Table 1: architectural parameters vs. thread count", (*Suite).Table1},
+	{"table2", "Table 2: multiprogrammed workload description", (*Suite).Table2},
+	{"table3", "Table 3: instruction breakdown (%) and counts", (*Suite).Table3},
+	{"fig4", "Figure 4: performance with perfect cache", (*Suite).Fig4},
+	{"fig5", "Figure 5: performance under real memory system", (*Suite).Fig5},
+	{"table4", "Table 4: cache behaviour vs. thread count", (*Suite).Table4},
+	{"fig6", "Figure 6: impact of fetch policies (conventional L1)", (*Suite).Fig6},
+	{"fig8", "Figure 8: fetch policies under the decoupled hierarchy", (*Suite).Fig8},
+	{"fig9", "Figure 9: benefits of bypassing L1 on vector accesses", (*Suite).Fig9},
+	{"headline", "Headline: speedups over the uni-threaded MMX superscalar", (*Suite).Headline},
+	{"issuemix", "Analysis: vector/scalar issue mix (section 5.3 claim)", (*Suite).IssueMix},
+}
+
+// ByID returns an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Experiments {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	ids := make([]string, len(Experiments))
+	for i, e := range Experiments {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// table is a minimal fixed-width formatter.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func pc(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// threadCounts are the paper's evaluated machine sizes.
+var threadCounts = []int{1, 2, 4, 8}
+
+// policies are the paper's fetch policies in presentation order.
+var policies = []core.Policy{core.PolicyRR, core.PolicyICOUNT, core.PolicyOCOUNT, core.PolicyBALANCE}
+
+// sortedCacheKeys helps tests introspect what a suite has run.
+func (s *Suite) sortedCacheKeys() []string {
+	keys := make([]string, 0, len(s.cache))
+	for k := range s.cache {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

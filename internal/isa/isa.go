@@ -1,0 +1,247 @@
+// Package isa defines the three instruction sets simulated by mediasmt:
+// a scalar Alpha-like base ISA, a conventional MMX-like μ-SIMD extension
+// (67 opcodes, 32 logical 64-bit registers) and the MOM streaming vector
+// μ-SIMD extension (121 opcodes, 16 logical stream registers of 16
+// 64-bit registers each, 2 packed 192-bit accumulators, a renamed
+// stream-length register and strided stream memory operations), as
+// described in Corbal, Espasa and Valero, "DLP + TLP Processors for the
+// Next Generation of Media Workloads", HPCA 2001.
+package isa
+
+import "fmt"
+
+// RegFile identifies an architectural register namespace.
+type RegFile uint8
+
+// Register namespaces. RFNone is deliberately zero so that the zero Reg
+// value means "no register".
+const (
+	RFNone RegFile = iota
+	RFInt          // 32 integer registers (stream-length register lives here)
+	RFFP           // 32 floating-point registers
+	RFMMX          // 32 MMX-like 64-bit packed registers
+	RFMOM          // 16 MOM stream registers (16 x 64 bit each)
+	RFAcc          // 2 packed 192-bit accumulators
+	numRegFiles
+)
+
+// LogicalRegs reports the number of architectural registers in a file.
+func LogicalRegs(f RegFile) int {
+	switch f {
+	case RFInt, RFFP, RFMMX:
+		return 32
+	case RFMOM:
+		return 16
+	case RFAcc:
+		return 2
+	default:
+		return 0
+	}
+}
+
+func (f RegFile) String() string {
+	switch f {
+	case RFNone:
+		return "none"
+	case RFInt:
+		return "int"
+	case RFFP:
+		return "fp"
+	case RFMMX:
+		return "mmx"
+	case RFMOM:
+		return "mom"
+	case RFAcc:
+		return "acc"
+	}
+	return fmt.Sprintf("regfile(%d)", uint8(f))
+}
+
+// Reg is a logical register reference: a file plus an index within it.
+// The zero value is RegNone.
+type Reg uint16
+
+// RegNone means "no register operand".
+const RegNone Reg = 0
+
+// NewReg builds a register reference. Index must be within the file.
+func NewReg(f RegFile, idx int) Reg {
+	if f == RFNone {
+		return RegNone
+	}
+	if idx < 0 || idx >= LogicalRegs(f) {
+		panic(fmt.Sprintf("isa: register index %d out of range for file %v", idx, f))
+	}
+	return Reg(uint16(f)<<8 | uint16(idx))
+}
+
+// File returns the register's namespace.
+func (r Reg) File() RegFile { return RegFile(r >> 8) }
+
+// Idx returns the register's index within its namespace.
+func (r Reg) Idx() int { return int(r & 0xff) }
+
+func (r Reg) String() string {
+	if r == RegNone {
+		return "-"
+	}
+	return fmt.Sprintf("%s%d", r.File(), r.Idx())
+}
+
+// IntReg, FPReg, MMXReg, MOMReg and AccReg are convenience constructors.
+func IntReg(i int) Reg { return NewReg(RFInt, i) }
+func FPReg(i int) Reg  { return NewReg(RFFP, i) }
+func MMXReg(i int) Reg { return NewReg(RFMMX, i) }
+func MOMReg(i int) Reg { return NewReg(RFMOM, i) }
+func AccReg(i int) Reg { return NewReg(RFAcc, i) }
+
+// Class buckets instructions the way the paper's Table 3 does: integer
+// arithmetic (including branches), floating point, SIMD arithmetic, and
+// memory (both scalar and vector).
+type Class uint8
+
+const (
+	ClassInt Class = iota
+	ClassFP
+	ClassSIMD
+	ClassMem
+	NumClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassInt:
+		return "int"
+	case ClassFP:
+		return "fp"
+	case ClassSIMD:
+		return "simd"
+	case ClassMem:
+		return "mem"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Unit identifies the functional-unit kind an operation executes on.
+type Unit uint8
+
+const (
+	UnitALU   Unit = iota // integer ALUs (also resolve branches)
+	UnitIMul              // integer multiplier
+	UnitFPAdd             // FP adder
+	UnitFPMul             // FP multiplier
+	UnitFPDiv             // FP divide/sqrt (unpipelined)
+	UnitMem               // address generation + cache port
+	UnitMedia             // media (μ-SIMD) units
+	NumUnits
+)
+
+func (u Unit) String() string {
+	switch u {
+	case UnitALU:
+		return "alu"
+	case UnitIMul:
+		return "imul"
+	case UnitFPAdd:
+		return "fpadd"
+	case UnitFPMul:
+		return "fpmul"
+	case UnitFPDiv:
+		return "fpdiv"
+	case UnitMem:
+		return "mem"
+	case UnitMedia:
+		return "media"
+	}
+	return fmt.Sprintf("unit(%d)", uint8(u))
+}
+
+// MemKind distinguishes loads from stores for memory operations.
+type MemKind uint8
+
+const (
+	MemNone MemKind = iota
+	MemLoad
+	MemStore
+)
+
+// OpInfo is the static description of one opcode.
+type OpInfo struct {
+	Name   string
+	Class  Class
+	Unit   Unit
+	Lat    uint8   // result latency in cycles (excluding memory time)
+	II     uint8   // initiation interval; 1 = fully pipelined
+	Mem    MemKind // load/store behaviour
+	Stream bool    // MOM stream operation (honours stream length)
+	Branch bool    // transfers control
+	Cond   bool    // conditional branch (predictable)
+}
+
+// Opcode indexes the global opcode table.
+type Opcode uint16
+
+// Opcode space layout. The scalar, MMX and MOM tables occupy disjoint
+// contiguous ranges so that set membership is a range check.
+const (
+	ScalarBase   Opcode = 0
+	NumScalarOps        = 84
+	MMXBase             = ScalarBase + NumScalarOps
+	NumMMXOps           = 67
+	MOMBase             = MMXBase + NumMMXOps
+	NumMOMOps           = 121
+	NumOpcodes          = int(MOMBase) + NumMOMOps
+)
+
+// info is the global opcode metadata table, filled by the per-set files.
+var info [NumOpcodes]OpInfo
+
+// Info returns the static description of an opcode.
+func (o Opcode) Info() *OpInfo {
+	return &info[o]
+}
+
+func (o Opcode) String() string {
+	if int(o) >= NumOpcodes {
+		return fmt.Sprintf("op(%d)", uint16(o))
+	}
+	return info[o].Name
+}
+
+// IsScalar reports whether the opcode belongs to the base scalar ISA.
+func (o Opcode) IsScalar() bool { return o < MMXBase }
+
+// IsMMX reports whether the opcode belongs to the MMX-like extension.
+func (o Opcode) IsMMX() bool { return o >= MMXBase && o < MOMBase }
+
+// IsMOM reports whether the opcode belongs to the MOM extension.
+func (o Opcode) IsMOM() bool { return o >= MOMBase && int(o) < NumOpcodes }
+
+func register(base Opcode, defs []OpInfo) {
+	for i, d := range defs {
+		if d.II == 0 {
+			d.II = 1
+		}
+		if d.Lat == 0 {
+			d.Lat = 1
+		}
+		info[int(base)+i] = d
+	}
+}
+
+// ByName resolves an opcode by mnemonic; it exists for tools and tests.
+func ByName(name string) (Opcode, bool) {
+	for i := range info {
+		if info[i].Name == name {
+			return Opcode(i), true
+		}
+	}
+	return 0, false
+}
+
+// MaxStreamLen is the maximum MOM stream length: one stream register
+// holds 16 MMX-like 64-bit registers.
+const MaxStreamLen = 16
+
+// VecElemBytes is the size of one stream element (one 64-bit packed word).
+const VecElemBytes = 8

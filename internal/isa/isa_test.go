@@ -1,0 +1,197 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeTableSizes(t *testing.T) {
+	// The paper specifies the exact sizes of the two media ISAs:
+	// "an approximation of SSE integer opcodes with 67 instructions"
+	// and "MOM has 121 different opcodes".
+	if NumScalarOps != 84 {
+		t.Errorf("scalar ops = %d, want 84", NumScalarOps)
+	}
+	if NumMMXOps != 67 {
+		t.Errorf("mmx ops = %d, want 67 (paper, section 3)", NumMMXOps)
+	}
+	if NumMOMOps != 121 {
+		t.Errorf("mom ops = %d, want 121 (paper, section 3)", NumMOMOps)
+	}
+	if len(scalarDefs) != NumScalarOps || len(mmxDefs) != NumMMXOps || len(momDefs) != NumMOMOps {
+		t.Fatalf("def slice sizes do not match declared counts")
+	}
+}
+
+func TestLogicalRegisterCounts(t *testing.T) {
+	// Paper: MMX-like set has 32 logical registers; MOM has 16 logical
+	// stream registers and 2 packed accumulators.
+	cases := []struct {
+		f    RegFile
+		want int
+	}{
+		{RFInt, 32}, {RFFP, 32}, {RFMMX, 32}, {RFMOM, 16}, {RFAcc, 2}, {RFNone, 0},
+	}
+	for _, c := range cases {
+		if got := LogicalRegs(c.f); got != c.want {
+			t.Errorf("LogicalRegs(%v) = %d, want %d", c.f, got, c.want)
+		}
+	}
+}
+
+func TestEveryOpcodeHasInfo(t *testing.T) {
+	seen := make(map[string]Opcode, NumOpcodes)
+	for i := 0; i < NumOpcodes; i++ {
+		op := Opcode(i)
+		inf := op.Info()
+		if inf.Name == "" {
+			t.Fatalf("opcode %d has no name", i)
+		}
+		if prev, dup := seen[inf.Name]; dup {
+			t.Errorf("duplicate mnemonic %q for opcodes %d and %d", inf.Name, prev, op)
+		}
+		seen[inf.Name] = op
+		if inf.Lat == 0 {
+			t.Errorf("%s: zero latency", inf.Name)
+		}
+		if inf.II == 0 {
+			t.Errorf("%s: zero initiation interval", inf.Name)
+		}
+		if inf.Class >= NumClasses {
+			t.Errorf("%s: bad class %d", inf.Name, inf.Class)
+		}
+		if inf.Unit >= NumUnits {
+			t.Errorf("%s: bad unit %d", inf.Name, inf.Unit)
+		}
+	}
+}
+
+func TestMemOpsUseMemUnit(t *testing.T) {
+	for i := 0; i < NumOpcodes; i++ {
+		inf := Opcode(i).Info()
+		if inf.Mem != MemNone && inf.Unit != UnitMem {
+			t.Errorf("%s: memory op not on mem unit", inf.Name)
+		}
+		if inf.Mem != MemNone && inf.Class != ClassMem {
+			t.Errorf("%s: memory op not in mem class (paper counts scalar and vector memory together)", inf.Name)
+		}
+	}
+}
+
+func TestSetMembershipRanges(t *testing.T) {
+	for i := 0; i < NumOpcodes; i++ {
+		op := Opcode(i)
+		n := 0
+		if op.IsScalar() {
+			n++
+		}
+		if op.IsMMX() {
+			n++
+		}
+		if op.IsMOM() {
+			n++
+		}
+		if n != 1 {
+			t.Errorf("opcode %s belongs to %d sets, want exactly 1", op, n)
+		}
+	}
+	if !PADDW.IsMMX() || !VPADDW.IsMOM() || !ADDQ.IsScalar() {
+		t.Error("spot-check of set membership failed")
+	}
+}
+
+func TestStreamFlagOnlyOnMOM(t *testing.T) {
+	for i := 0; i < NumOpcodes; i++ {
+		op := Opcode(i)
+		if op.Info().Stream && !op.IsMOM() {
+			t.Errorf("%s: stream flag outside MOM set", op)
+		}
+	}
+	// Stream memory ops must honour the stream semantics.
+	for _, op := range []Opcode{VLD, VLDS, VST, VSTS, VSTNT} {
+		if !op.Info().Stream {
+			t.Errorf("%s: stream memory op missing stream flag", op)
+		}
+	}
+	// SETVL/SETSTR are integer-pipe instructions (renamed via int pool).
+	if SETVL.Info().Unit != UnitALU || SETSTR.Info().Unit != UnitALU {
+		t.Error("setvl/setstr must execute on the integer pipeline")
+	}
+}
+
+func TestBranchesAreCondOrUncond(t *testing.T) {
+	nCond, nUncond := 0, 0
+	for i := 0; i < NumOpcodes; i++ {
+		inf := Opcode(i).Info()
+		if inf.Cond && !inf.Branch {
+			t.Errorf("%s: cond set on non-branch", inf.Name)
+		}
+		if inf.Branch {
+			if inf.Cond {
+				nCond++
+			} else {
+				nUncond++
+			}
+		}
+	}
+	if nCond == 0 || nUncond == 0 {
+		t.Errorf("want both conditional (%d) and unconditional (%d) branches", nCond, nUncond)
+	}
+}
+
+func TestRegRoundTrip(t *testing.T) {
+	f := func(fi uint8, idx uint8) bool {
+		file := RegFile(fi%uint8(numRegFiles-1)) + 1 // RFInt..RFAcc
+		n := LogicalRegs(file)
+		i := int(idx) % n
+		r := NewReg(file, i)
+		return r.File() == file && r.Idx() == i && r != RegNone
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRegPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewReg out-of-range index did not panic")
+		}
+	}()
+	NewReg(RFMOM, 16)
+}
+
+func TestByName(t *testing.T) {
+	op, ok := ByName("vpsadbw")
+	if !ok || op != VPSADBW {
+		t.Errorf("ByName(vpsadbw) = %v, %v", op, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+func TestStringMethods(t *testing.T) {
+	if ADDQ.String() != "addq" {
+		t.Errorf("ADDQ.String() = %q", ADDQ.String())
+	}
+	if RegNone.String() != "-" {
+		t.Errorf("RegNone.String() = %q", RegNone.String())
+	}
+	if got := MOMReg(3).String(); got != "mom3" {
+		t.Errorf("MOMReg(3).String() = %q", got)
+	}
+	if got := Opcode(60000).String(); got == "" {
+		t.Error("out-of-range opcode String must not be empty")
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		if c.String() == "" {
+			t.Errorf("class %d has empty string", c)
+		}
+	}
+	for u := Unit(0); u < NumUnits; u++ {
+		if u.String() == "" {
+			t.Errorf("unit %d has empty string", u)
+		}
+	}
+}

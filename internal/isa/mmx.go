@@ -1,0 +1,164 @@
+package isa
+
+// MMX-like μ-SIMD extension: an approximation of the Intel SSE integer
+// opcodes with 67 instructions and 32 logical 64-bit registers, extended
+// (per the paper) with reduction operations and multiple source
+// registers. All operations work on one 64-bit packed register.
+
+// MMX opcode constants. Order must match mmxDefs below.
+const (
+	// Packed add (modular, signed/unsigned saturating).
+	PADDB Opcode = MMXBase + iota
+	PADDW
+	PADDD
+	PADDSB
+	PADDSW
+	PADDUSB
+	PADDUSW
+	// Packed subtract.
+	PSUBB
+	PSUBW
+	PSUBD
+	PSUBSB
+	PSUBSW
+	PSUBUSB
+	PSUBUSW
+	// Packed multiply.
+	PMULLW
+	PMULHW
+	PMULHUW
+	PMADDWD
+	// Packed compare.
+	PCMPEQB
+	PCMPEQW
+	PCMPEQD
+	PCMPGTB
+	PCMPGTW
+	PCMPGTD
+	// Packed logical.
+	PAND
+	PANDN
+	POR
+	PXOR
+	// Packed shifts.
+	PSLLW
+	PSLLD
+	PSLLQ
+	PSRLW
+	PSRLD
+	PSRLQ
+	PSRAW
+	PSRAD
+	// Pack / unpack.
+	PACKSSWB
+	PACKSSDW
+	PACKUSWB
+	PUNPCKHBW
+	PUNPCKHWD
+	PUNPCKHDQ
+	PUNPCKLBW
+	PUNPCKLWD
+	PUNPCKLDQ
+	// SSE integer extras.
+	PAVGB
+	PAVGW
+	PMINUB
+	PMAXUB
+	PMINSW
+	PMAXSW
+	PSADBW
+	PMOVMSKB
+	PSHUFW
+	PEXTRW
+	PINSRW
+	// Reduction operations (paper's extra features over SSE).
+	PSUMB
+	PSUMW
+	PSUMD
+	PMAXRW
+	PMINRW
+	// Register move and memory.
+	MOVQ
+	MOVQLD
+	MOVQST
+	MOVNTQ
+	MOVQLDU
+	MOVQSTU
+)
+
+var mmxDefs = []OpInfo{
+	{Name: "paddb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "paddw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "paddd", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "paddsb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "paddsw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "paddusb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "paddusw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "psubb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "psubw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "psubd", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "psubsb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "psubsw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "psubusb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "psubusw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "pmullw", Class: ClassSIMD, Unit: UnitMedia, Lat: 3},
+	{Name: "pmulhw", Class: ClassSIMD, Unit: UnitMedia, Lat: 3},
+	{Name: "pmulhuw", Class: ClassSIMD, Unit: UnitMedia, Lat: 3},
+	{Name: "pmaddwd", Class: ClassSIMD, Unit: UnitMedia, Lat: 3},
+	{Name: "pcmpeqb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "pcmpeqw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "pcmpeqd", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "pcmpgtb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "pcmpgtw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "pcmpgtd", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "pand", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "pandn", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "por", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "pxor", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "psllw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "pslld", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "psllq", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "psrlw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "psrld", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "psrlq", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "psraw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "psrad", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "packsswb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "packssdw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "packuswb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "punpckhbw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "punpckhwd", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "punpckhdq", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "punpcklbw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "punpcklwd", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "punpckldq", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "pavgb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "pavgw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "pminub", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "pmaxub", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "pminsw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "pmaxsw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "psadbw", Class: ClassSIMD, Unit: UnitMedia, Lat: 3},
+	{Name: "pmovmskb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "pshufw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "pextrw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "pinsrw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "psumb", Class: ClassSIMD, Unit: UnitMedia, Lat: 2},
+	{Name: "psumw", Class: ClassSIMD, Unit: UnitMedia, Lat: 2},
+	{Name: "psumd", Class: ClassSIMD, Unit: UnitMedia, Lat: 2},
+	{Name: "pmaxrw", Class: ClassSIMD, Unit: UnitMedia, Lat: 2},
+	{Name: "pminrw", Class: ClassSIMD, Unit: UnitMedia, Lat: 2},
+	{Name: "movq", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "movq.ld", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemLoad},
+	{Name: "movq.st", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemStore},
+	{Name: "movntq", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemStore},
+	{Name: "movq.ldu", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemLoad},
+	{Name: "movq.stu", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemStore},
+}
+
+func init() {
+	if len(mmxDefs) != NumMMXOps {
+		panic("isa: mmx opcode table size mismatch")
+	}
+	register(MMXBase, mmxDefs)
+}

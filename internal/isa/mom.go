@@ -1,0 +1,291 @@
+package isa
+
+// MOM streaming vector μ-SIMD extension: 121 opcodes over 16 logical
+// stream registers (each composed of 16 MMX-like 64-bit registers), two
+// 192-bit packed accumulators and one stream-length register (renamed
+// through the integer pool). A stream instruction executes its operation
+// over up to 16 packed registers; stream memory operations add a Stride
+// between consecutive packed registers. MOM is loosely based on the MIPS
+// MDMX extension (packed accumulators) as described in the paper and in
+// Corbal et al., "Exploiting a New Level of DLP in Multimedia
+// Applications", MICRO 1999.
+
+// MOM opcode constants. Order must match momDefs below.
+const (
+	// Stream packed add.
+	VPADDB Opcode = MOMBase + iota
+	VPADDW
+	VPADDD
+	VPADDSB
+	VPADDSW
+	VPADDUSB
+	VPADDUSW
+	// Stream packed subtract.
+	VPSUBB
+	VPSUBW
+	VPSUBD
+	VPSUBSB
+	VPSUBSW
+	VPSUBUSB
+	VPSUBUSW
+	// Stream packed multiply.
+	VPMULLW
+	VPMULHW
+	VPMULHUW
+	// Accumulator operations (MDMX-like packed accumulators).
+	VADDAB
+	VADDAW
+	VADDAD
+	VMULAB
+	VMULAW
+	VMULAD
+	VSUBAB
+	VSUBAW
+	VSUBAD
+	VMADDW
+	// Accumulator read/write with rounding and saturation.
+	RACB
+	RACW
+	RACD
+	WACB
+	WACW
+	WACD
+	// Stream packed compare.
+	VPCMPEQB
+	VPCMPEQW
+	VPCMPEQD
+	VPCMPGTB
+	VPCMPGTW
+	VPCMPGTD
+	// Stream packed logical.
+	VPAND
+	VPANDN
+	VPOR
+	VPXOR
+	VPNOR
+	// Stream packed shifts (register count).
+	VPSLLW
+	VPSLLD
+	VPSLLQ
+	VPSRLW
+	VPSRLD
+	VPSRLQ
+	VPSRAW
+	VPSRAD
+	// Stream pack / unpack / shuffle.
+	VPACKSSWB
+	VPACKSSDW
+	VPACKUSWB
+	VPUNPCKLBW
+	VPUNPCKLWD
+	VPUNPCKLDQ
+	VPUNPCKHBW
+	VPUNPCKHWD
+	VPUNPCKHDQ
+	VSHFB
+	// Stream min/max/average.
+	VPAVGB
+	VPAVGW
+	VPMINUB
+	VPMAXUB
+	VPMINSW
+	VPMAXSW
+	// Stream sum of absolute differences.
+	VPSADBW
+	// Stream select / merge (MDMX pick).
+	VPICKT
+	VPICKF
+	VBLEND
+	// Stream-to-scalar reductions.
+	VSUMB
+	VSUMW
+	VSUMD
+	VMAXW
+	VMINW
+	// Stream control (renamed through the integer register pool).
+	SETVL
+	SETSTR
+	// Vector-scalar broadcast forms.
+	VPADDWS
+	VPSUBWS
+	VPMULLWS
+	VPMULHWS
+	VPANDS
+	VPORS
+	VPXORS
+	// Stream memory.
+	VLD
+	VLDS
+	VLDX
+	VST
+	VSTS
+	VSTX
+	VLDU
+	VSTU
+	// Width conversions.
+	VCVTBW
+	VCVTWB
+	VCVTWD
+	VCVTDW
+	// Masked move.
+	VMSKMOV
+	// Accumulating SAD / average.
+	VSADA
+	VAVGA
+	// Immediate shift forms.
+	VPSLLWI
+	VPSRLWI
+	VPSRAWI
+	VPSLLDI
+	VPSRLDI
+	VPSRADI
+	// Broadcast splats.
+	VSPLATB
+	VSPLATW
+	VSPLATD
+	// Element insert/extract.
+	VEXTRW
+	VINSRW
+	// Non-temporal stream store.
+	VSTNT
+	// Stream register move, abs, neg, zero.
+	VMOV
+	VPABSB
+	VPABSW
+	VPABSD
+	VPNEGB
+	VPNEGW
+	VPNEGD
+	VZERO
+)
+
+var momDefs = []OpInfo{
+	{Name: "vpaddb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpaddw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpaddd", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpaddsb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpaddsw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpaddusb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpaddusw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpsubb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpsubw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpsubd", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpsubsb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpsubsw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpsubusb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpsubusw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpmullw", Class: ClassSIMD, Unit: UnitMedia, Lat: 3, Stream: true},
+	{Name: "vpmulhw", Class: ClassSIMD, Unit: UnitMedia, Lat: 3, Stream: true},
+	{Name: "vpmulhuw", Class: ClassSIMD, Unit: UnitMedia, Lat: 3, Stream: true},
+	{Name: "vaddab", Class: ClassSIMD, Unit: UnitMedia, Lat: 2, Stream: true},
+	{Name: "vaddaw", Class: ClassSIMD, Unit: UnitMedia, Lat: 2, Stream: true},
+	{Name: "vaddad", Class: ClassSIMD, Unit: UnitMedia, Lat: 2, Stream: true},
+	{Name: "vmulab", Class: ClassSIMD, Unit: UnitMedia, Lat: 3, Stream: true},
+	{Name: "vmulaw", Class: ClassSIMD, Unit: UnitMedia, Lat: 3, Stream: true},
+	{Name: "vmulad", Class: ClassSIMD, Unit: UnitMedia, Lat: 3, Stream: true},
+	{Name: "vsubab", Class: ClassSIMD, Unit: UnitMedia, Lat: 2, Stream: true},
+	{Name: "vsubaw", Class: ClassSIMD, Unit: UnitMedia, Lat: 2, Stream: true},
+	{Name: "vsubad", Class: ClassSIMD, Unit: UnitMedia, Lat: 2, Stream: true},
+	{Name: "vmaddw", Class: ClassSIMD, Unit: UnitMedia, Lat: 3, Stream: true},
+	{Name: "racb", Class: ClassSIMD, Unit: UnitMedia, Lat: 2},
+	{Name: "racw", Class: ClassSIMD, Unit: UnitMedia, Lat: 2},
+	{Name: "racd", Class: ClassSIMD, Unit: UnitMedia, Lat: 2},
+	{Name: "wacb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "wacw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "wacd", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "vpcmpeqb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpcmpeqw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpcmpeqd", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpcmpgtb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpcmpgtw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpcmpgtd", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpand", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpandn", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpor", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpxor", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpnor", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpsllw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpslld", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpsllq", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpsrlw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpsrld", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpsrlq", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpsraw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpsrad", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpacksswb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpackssdw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpackuswb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpunpcklbw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpunpcklwd", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpunpckldq", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpunpckhbw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpunpckhwd", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpunpckhdq", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vshfb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpavgb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpavgw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpminub", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpmaxub", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpminsw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpmaxsw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpsadbw", Class: ClassSIMD, Unit: UnitMedia, Lat: 3, Stream: true},
+	{Name: "vpickt", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpickf", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vblend", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vsumb", Class: ClassSIMD, Unit: UnitMedia, Lat: 2, Stream: true},
+	{Name: "vsumw", Class: ClassSIMD, Unit: UnitMedia, Lat: 2, Stream: true},
+	{Name: "vsumd", Class: ClassSIMD, Unit: UnitMedia, Lat: 2, Stream: true},
+	{Name: "vmaxw", Class: ClassSIMD, Unit: UnitMedia, Lat: 2, Stream: true},
+	{Name: "vminw", Class: ClassSIMD, Unit: UnitMedia, Lat: 2, Stream: true},
+	{Name: "setvl", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "setstr", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "vpaddw.s", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpsubw.s", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpmullw.s", Class: ClassSIMD, Unit: UnitMedia, Lat: 3, Stream: true},
+	{Name: "vpmulhw.s", Class: ClassSIMD, Unit: UnitMedia, Lat: 3, Stream: true},
+	{Name: "vpand.s", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpor.s", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpxor.s", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vld", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemLoad, Stream: true},
+	{Name: "vlds", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemLoad, Stream: true},
+	{Name: "vldx", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemLoad, Stream: true},
+	{Name: "vst", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemStore, Stream: true},
+	{Name: "vsts", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemStore, Stream: true},
+	{Name: "vstx", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemStore, Stream: true},
+	{Name: "vldu", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemLoad, Stream: true},
+	{Name: "vstu", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemStore, Stream: true},
+	{Name: "vcvtbw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vcvtwb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vcvtwd", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vcvtdw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vmskmov", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vsada", Class: ClassSIMD, Unit: UnitMedia, Lat: 3, Stream: true},
+	{Name: "vavga", Class: ClassSIMD, Unit: UnitMedia, Lat: 2, Stream: true},
+	{Name: "vpsllw.i", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpsrlw.i", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpsraw.i", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpslld.i", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpsrld.i", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpsrad.i", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vsplatb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "vsplatw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "vsplatd", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "vextrw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "vinsrw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+	{Name: "vstnt", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemStore, Stream: true},
+	{Name: "vmov", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpabsb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpabsw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpabsd", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpnegb", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpnegw", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vpnegd", Class: ClassSIMD, Unit: UnitMedia, Lat: 1, Stream: true},
+	{Name: "vzero", Class: ClassSIMD, Unit: UnitMedia, Lat: 1},
+}
+
+func init() {
+	if len(momDefs) != NumMOMOps {
+		panic("isa: mom opcode table size mismatch")
+	}
+	register(MOMBase, momDefs)
+}

@@ -1,0 +1,195 @@
+package isa
+
+// Scalar Alpha-like base ISA: 84 opcodes covering integer arithmetic,
+// control flow, scalar memory and floating point. The simulated media
+// workloads use this set for all "protocol overhead" code and for the
+// scalar portions of vectorized kernels.
+
+// Scalar opcode constants. Order must match scalarDefs below.
+const (
+	// Integer arithmetic and logic.
+	ADDQ Opcode = ScalarBase + iota
+	SUBQ
+	ADDL
+	SUBL
+	MULQ
+	MULL
+	UMULH
+	S4ADDQ
+	S8ADDQ
+	CMPEQ
+	CMPLT
+	CMPLE
+	CMPULT
+	CMPULE
+	AND
+	BIS
+	XOR
+	BIC
+	ORNOT
+	EQV
+	SLL
+	SRL
+	SRA
+	EXTBL
+	EXTWL
+	INSBL
+	MSKBL
+	ZAP
+	ZAPNOT
+	SEXTB
+	SEXTW
+	CMOVEQ
+	CMOVNE
+	CMOVLT
+	CMOVGE
+	LDA
+	LDAH
+	// Control flow.
+	BR
+	BSR
+	JMP
+	JSR
+	RET
+	BEQ
+	BNE
+	BLT
+	BLE
+	BGT
+	BGE
+	BLBC
+	BLBS
+	// Integer memory.
+	LDQ
+	LDL
+	LDWU
+	LDBU
+	LDQU
+	STQ
+	STL
+	STW
+	STB
+	STQU
+	// Floating point.
+	ADDS
+	ADDT
+	SUBS
+	SUBT
+	MULS
+	MULT
+	DIVS
+	DIVT
+	SQRTS
+	SQRTT
+	CPYS
+	CVTQT
+	CVTTQ
+	CVTST
+	CMPTEQ
+	CMPTLT
+	CMPTLE
+	FBEQ
+	FBNE
+	FBLT
+	LDS
+	LDT
+	STS
+	STT
+)
+
+var scalarDefs = []OpInfo{
+	{Name: "addq", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "subq", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "addl", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "subl", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "mulq", Class: ClassInt, Unit: UnitIMul, Lat: 8},
+	{Name: "mull", Class: ClassInt, Unit: UnitIMul, Lat: 6},
+	{Name: "umulh", Class: ClassInt, Unit: UnitIMul, Lat: 8},
+	{Name: "s4addq", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "s8addq", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "cmpeq", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "cmplt", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "cmple", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "cmpult", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "cmpule", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "and", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "bis", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "xor", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "bic", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "ornot", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "eqv", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "sll", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "srl", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "sra", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "extbl", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "extwl", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "insbl", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "mskbl", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "zap", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "zapnot", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "sextb", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "sextw", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "cmoveq", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "cmovne", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "cmovlt", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "cmovge", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "lda", Class: ClassInt, Unit: UnitALU, Lat: 1},
+	{Name: "ldah", Class: ClassInt, Unit: UnitALU, Lat: 1},
+
+	{Name: "br", Class: ClassInt, Unit: UnitALU, Lat: 1, Branch: true},
+	{Name: "bsr", Class: ClassInt, Unit: UnitALU, Lat: 1, Branch: true},
+	{Name: "jmp", Class: ClassInt, Unit: UnitALU, Lat: 1, Branch: true},
+	{Name: "jsr", Class: ClassInt, Unit: UnitALU, Lat: 1, Branch: true},
+	{Name: "ret", Class: ClassInt, Unit: UnitALU, Lat: 1, Branch: true},
+	{Name: "beq", Class: ClassInt, Unit: UnitALU, Lat: 1, Branch: true, Cond: true},
+	{Name: "bne", Class: ClassInt, Unit: UnitALU, Lat: 1, Branch: true, Cond: true},
+	{Name: "blt", Class: ClassInt, Unit: UnitALU, Lat: 1, Branch: true, Cond: true},
+	{Name: "ble", Class: ClassInt, Unit: UnitALU, Lat: 1, Branch: true, Cond: true},
+	{Name: "bgt", Class: ClassInt, Unit: UnitALU, Lat: 1, Branch: true, Cond: true},
+	{Name: "bge", Class: ClassInt, Unit: UnitALU, Lat: 1, Branch: true, Cond: true},
+	{Name: "blbc", Class: ClassInt, Unit: UnitALU, Lat: 1, Branch: true, Cond: true},
+	{Name: "blbs", Class: ClassInt, Unit: UnitALU, Lat: 1, Branch: true, Cond: true},
+
+	{Name: "ldq", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemLoad},
+	{Name: "ldl", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemLoad},
+	{Name: "ldwu", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemLoad},
+	{Name: "ldbu", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemLoad},
+	{Name: "ldqu", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemLoad},
+	{Name: "stq", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemStore},
+	{Name: "stl", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemStore},
+	{Name: "stw", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemStore},
+	{Name: "stb", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemStore},
+	{Name: "stqu", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemStore},
+
+	{Name: "adds", Class: ClassFP, Unit: UnitFPAdd, Lat: 4},
+	{Name: "addt", Class: ClassFP, Unit: UnitFPAdd, Lat: 4},
+	{Name: "subs", Class: ClassFP, Unit: UnitFPAdd, Lat: 4},
+	{Name: "subt", Class: ClassFP, Unit: UnitFPAdd, Lat: 4},
+	{Name: "muls", Class: ClassFP, Unit: UnitFPMul, Lat: 4},
+	{Name: "mult", Class: ClassFP, Unit: UnitFPMul, Lat: 4},
+	{Name: "divs", Class: ClassFP, Unit: UnitFPDiv, Lat: 12, II: 12},
+	{Name: "divt", Class: ClassFP, Unit: UnitFPDiv, Lat: 16, II: 16},
+	{Name: "sqrts", Class: ClassFP, Unit: UnitFPDiv, Lat: 18, II: 18},
+	{Name: "sqrtt", Class: ClassFP, Unit: UnitFPDiv, Lat: 33, II: 33},
+	{Name: "cpys", Class: ClassFP, Unit: UnitFPAdd, Lat: 1},
+	{Name: "cvtqt", Class: ClassFP, Unit: UnitFPAdd, Lat: 4},
+	{Name: "cvttq", Class: ClassFP, Unit: UnitFPAdd, Lat: 4},
+	{Name: "cvtst", Class: ClassFP, Unit: UnitFPAdd, Lat: 4},
+	{Name: "cmpteq", Class: ClassFP, Unit: UnitFPAdd, Lat: 4},
+	{Name: "cmptlt", Class: ClassFP, Unit: UnitFPAdd, Lat: 4},
+	{Name: "cmptle", Class: ClassFP, Unit: UnitFPAdd, Lat: 4},
+	{Name: "fbeq", Class: ClassInt, Unit: UnitALU, Lat: 1, Branch: true, Cond: true},
+	{Name: "fbne", Class: ClassInt, Unit: UnitALU, Lat: 1, Branch: true, Cond: true},
+	{Name: "fblt", Class: ClassInt, Unit: UnitALU, Lat: 1, Branch: true, Cond: true},
+	{Name: "lds", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemLoad},
+	{Name: "ldt", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemLoad},
+	{Name: "sts", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemStore},
+	{Name: "stt", Class: ClassMem, Unit: UnitMem, Lat: 1, Mem: MemStore},
+}
+
+func init() {
+	if len(scalarDefs) != NumScalarOps {
+		panic("isa: scalar opcode table size mismatch")
+	}
+	register(ScalarBase, scalarDefs)
+}

@@ -1,0 +1,167 @@
+package mem
+
+// cacheArray is a set-associative tag array with true-LRU replacement
+// (the paper's caches are direct-mapped or 2-way, so LRU is exact and
+// cheap). It tracks only tags and state; the simulator is timing-only
+// and carries no data.
+type cacheArray struct {
+	sets      int
+	ways      int
+	lineShift uint
+	tags      []uint64
+	valid     []bool
+	dirty     []bool
+	pref      []bool  // line was brought in by (or re-armed for) the prefetcher
+	stamp     []int64 // LRU timestamps
+	clock     int64
+}
+
+func newCacheArray(size, lineBytes, assoc int) *cacheArray {
+	if size <= 0 || lineBytes <= 0 || assoc <= 0 {
+		panic("mem: invalid cache geometry")
+	}
+	lines := size / lineBytes
+	sets := lines / assoc
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic("mem: cache set count must be a power of two")
+	}
+	n := sets * assoc
+	return &cacheArray{
+		sets:      sets,
+		ways:      assoc,
+		lineShift: log2(lineBytes),
+		tags:      make([]uint64, n),
+		valid:     make([]bool, n),
+		dirty:     make([]bool, n),
+		pref:      make([]bool, n),
+		stamp:     make([]int64, n),
+	}
+}
+
+// lineAddr returns the line-aligned address.
+func (c *cacheArray) lineAddr(addr uint64) uint64 {
+	return addr >> c.lineShift << c.lineShift
+}
+
+func (c *cacheArray) set(addr uint64) int {
+	return int((addr >> c.lineShift) & uint64(c.sets-1))
+}
+
+// lookup probes the array. When touch is true a hit updates LRU state.
+func (c *cacheArray) lookup(addr uint64, touch bool) bool {
+	la := c.lineAddr(addr)
+	base := c.set(addr) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == la {
+			if touch {
+				c.clock++
+				c.stamp[i] = c.clock
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// markDirty sets the dirty bit of a resident line; it reports whether
+// the line was present.
+func (c *cacheArray) markDirty(addr uint64) bool {
+	la := c.lineAddr(addr)
+	base := c.set(addr) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == la {
+			c.dirty[i] = true
+			c.clock++
+			c.stamp[i] = c.clock
+			return true
+		}
+	}
+	return false
+}
+
+// fill installs a line, evicting the LRU way if needed. It returns the
+// evicted line address and whether it was valid and dirty.
+func (c *cacheArray) fill(addr uint64, dirty bool) (evicted uint64, wasValid, wasDirty bool) {
+	la := c.lineAddr(addr)
+	base := c.set(addr) * c.ways
+	victim := base
+	// Prefer an invalid way, otherwise evict the LRU way; refills of a
+	// line already present just refresh it.
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == la {
+			victim = i
+			goto install
+		}
+	}
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = i
+			goto install
+		}
+		if c.stamp[i] < c.stamp[victim] {
+			victim = i
+		}
+	}
+	evicted = c.tags[victim]
+	wasValid = c.valid[victim]
+	wasDirty = c.dirty[victim]
+install:
+	if c.valid[victim] && c.tags[victim] == la {
+		// Refresh: keep dirty state OR'd with the new fill.
+		dirty = dirty || c.dirty[victim]
+		wasValid, wasDirty = false, false
+	}
+	c.tags[victim] = la
+	c.valid[victim] = true
+	c.dirty[victim] = dirty
+	c.clock++
+	c.stamp[victim] = c.clock
+	return evicted, wasValid, wasDirty
+}
+
+// markPref flags a resident line as prefetcher-owned (tagged prefetch).
+func (c *cacheArray) markPref(addr uint64) {
+	la := c.lineAddr(addr)
+	base := c.set(addr) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == la {
+			c.pref[i] = true
+			return
+		}
+	}
+}
+
+// takePref consumes the prefetch tag of a resident line, reporting
+// whether it was set (first demand hit on a prefetched line).
+func (c *cacheArray) takePref(addr uint64) bool {
+	la := c.lineAddr(addr)
+	base := c.set(addr) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == la && c.pref[i] {
+			c.pref[i] = false
+			return true
+		}
+	}
+	return false
+}
+
+// invalidate drops a line if present and reports whether it did.
+func (c *cacheArray) invalidate(addr uint64) bool {
+	la := c.lineAddr(addr)
+	base := c.set(addr) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == la {
+			c.valid[i] = false
+			c.dirty[i] = false
+			return true
+		}
+	}
+	return false
+}

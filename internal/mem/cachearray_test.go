@@ -1,0 +1,182 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheArrayBasicHitMiss(t *testing.T) {
+	c := newCacheArray(1<<10, 32, 1) // 32 lines direct mapped
+	if c.lookup(0x1000, true) {
+		t.Fatal("empty cache must miss")
+	}
+	c.fill(0x1000, false)
+	if !c.lookup(0x1000, true) {
+		t.Fatal("filled line must hit")
+	}
+	if !c.lookup(0x101f, true) {
+		t.Fatal("any address within the line must hit")
+	}
+	if c.lookup(0x1020, true) {
+		t.Fatal("next line must miss")
+	}
+}
+
+func TestCacheArrayDirectMappedConflict(t *testing.T) {
+	c := newCacheArray(1<<10, 32, 1)
+	c.fill(0x0000, false)
+	// Same set (1 KB apart with 32 sets of 32 bytes).
+	ev, wasValid, _ := c.fill(0x0400, false)
+	if !wasValid || ev != 0x0000 {
+		t.Fatalf("conflict fill evicted (%#x, %v), want (0, true)", ev, wasValid)
+	}
+	if c.lookup(0x0000, true) {
+		t.Fatal("evicted line must miss")
+	}
+}
+
+func TestCacheArrayLRU(t *testing.T) {
+	c := newCacheArray(2<<10, 32, 2)                          // 32 sets, 2 ways
+	a, b, d := uint64(0x0000), uint64(0x0400), uint64(0x0800) // same set
+	c.fill(a, false)
+	c.fill(b, false)
+	c.lookup(a, true) // a is now MRU
+	ev, wasValid, _ := c.fill(d, false)
+	if !wasValid || ev != b {
+		t.Fatalf("LRU eviction got (%#x, %v), want (%#x, true)", ev, wasValid, b)
+	}
+	if !c.lookup(a, true) || !c.lookup(d, true) || c.lookup(b, true) {
+		t.Fatal("post-eviction residency wrong")
+	}
+}
+
+func TestCacheArrayDirtyWriteback(t *testing.T) {
+	c := newCacheArray(1<<10, 32, 1)
+	c.fill(0x0000, false)
+	if !c.markDirty(0x0000) {
+		t.Fatal("markDirty on resident line must succeed")
+	}
+	if c.markDirty(0x2000) {
+		t.Fatal("markDirty on absent line must fail")
+	}
+	_, wasValid, wasDirty := c.fill(0x0400, false)
+	if !wasValid || !wasDirty {
+		t.Fatal("evicting a dirty line must report it")
+	}
+}
+
+func TestCacheArrayRefillKeepsDirty(t *testing.T) {
+	c := newCacheArray(1<<10, 32, 1)
+	c.fill(0x0000, true)
+	// Refill of the same line must not report an eviction and must
+	// keep the dirty state.
+	_, wasValid, _ := c.fill(0x0000, false)
+	if wasValid {
+		t.Fatal("refill of resident line must not evict")
+	}
+	_, _, wasDirty := c.fill(0x0400, false)
+	if !wasDirty {
+		t.Fatal("dirty state lost across refill")
+	}
+}
+
+func TestCacheArrayInvalidate(t *testing.T) {
+	c := newCacheArray(1<<10, 32, 1)
+	c.fill(0x0000, true)
+	if !c.invalidate(0x0000) {
+		t.Fatal("invalidate of resident line must succeed")
+	}
+	if c.lookup(0x0000, true) {
+		t.Fatal("invalidated line must miss")
+	}
+	if c.invalidate(0x0000) {
+		t.Fatal("second invalidate must fail")
+	}
+}
+
+func TestCacheArrayPrefTag(t *testing.T) {
+	c := newCacheArray(1<<10, 32, 1)
+	c.fill(0x0000, false)
+	c.markPref(0x0000)
+	if !c.takePref(0x0000) {
+		t.Fatal("first takePref must succeed")
+	}
+	if c.takePref(0x0000) {
+		t.Fatal("pref tag must be consumed")
+	}
+	c.markPref(0x2000) // absent: no-op
+	if c.takePref(0x2000) {
+		t.Fatal("pref tag on absent line")
+	}
+}
+
+func TestCacheArrayGeometryValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { newCacheArray(0, 32, 1) },
+		func() { newCacheArray(1<<10, 0, 1) },
+		func() { newCacheArray(1<<10, 32, 0) },
+		func() { newCacheArray(96, 32, 1) }, // 3 sets: not a power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid geometry must panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+// Property: after filling any address, looking it up hits, and the
+// number of resident lines never exceeds capacity.
+func TestCacheArrayFillThenHitProperty(t *testing.T) {
+	c := newCacheArray(4<<10, 32, 2)
+	f := func(addrs []uint64) bool {
+		for _, a := range addrs {
+			a &= 0xffffff
+			c.fill(a, false)
+			if !c.lookup(a, false) {
+				return false
+			}
+		}
+		resident := 0
+		for _, v := range c.valid {
+			if v {
+				resident++
+			}
+		}
+		return resident <= c.sets*c.ways
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a line is never resident in two ways of the same set.
+func TestCacheArrayNoDuplicateLines(t *testing.T) {
+	c := newCacheArray(2<<10, 32, 2)
+	f := func(addrs []uint64) bool {
+		for _, a := range addrs {
+			a &= 0xffff
+			c.fill(a, a%3 == 0)
+			c.lookup(a^0x400, true)
+		}
+		for s := 0; s < c.sets; s++ {
+			seen := map[uint64]bool{}
+			for w := 0; w < c.ways; w++ {
+				i := s*c.ways + w
+				if c.valid[i] {
+					if seen[c.tags[i]] {
+						return false
+					}
+					seen[c.tags[i]] = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

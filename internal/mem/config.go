@@ -1,0 +1,115 @@
+package mem
+
+// Config describes the memory system. DefaultConfig returns the paper's
+// parameters (§3, "Architectural Parameters"); experiments override
+// only Mode and, for ablations, the queue depths.
+type Config struct {
+	Mode Mode
+
+	// L1 data cache: 32 KB, direct mapped, write-through, 32-byte
+	// lines, interleaved among 8 banks, 1 cycle latency, 8 MSHRs,
+	// 8-deep coalescing write buffer with selective flush.
+	L1Size   int
+	L1Line   int
+	L1Assoc  int
+	L1Banks  int
+	L1MSHRs  int
+	L1HitLat int
+	WBDepth  int
+
+	// Instruction cache: 64 KB, 2-way, 32-byte lines, 4 banks.
+	ISize  int
+	ILine  int
+	IAssoc int
+	IBanks int
+	IMSHRs int
+
+	// L2: 1 MB, 2-way, write-back, 128-byte lines, 12 cycles, 8 MSHRs.
+	L2Size    int
+	L2Line    int
+	L2Assoc   int
+	L2Banks   int
+	L2MSHRs   int
+	L2HitLat  int
+	L2BankOcc int // cycles a bank stays busy per access
+
+	// Ports. Conventional: GeneralPorts shared by everything.
+	// Decoupled: ScalarPorts into L1 (double-pumped single bank) and
+	// VectorPorts into L2.
+	GeneralPorts int
+	ScalarPorts  int
+	VectorPorts  int
+
+	DRAM DRAMConfig
+
+	// MSHRTargets bounds how many loads can merge on one miss line.
+	MSHRTargets int
+}
+
+// DRAMConfig models the Direct Rambus channel: 8 RDRAM chips on a
+// 128-bit, bi-directional 200 MHz bus feeding an 800 MHz processor
+// (16 bytes per bus beat, one beat every 4 CPU cycles, 3.2 GB/s peak).
+type DRAMConfig struct {
+	Banks         int   // device banks across the channel
+	RowBytes      int   // row (page) size per bank
+	RowHitLat     int   // CAS-only access, CPU cycles
+	RowMissLat    int   // precharge + activate + CAS, CPU cycles
+	BeatBytes     int   // bytes per bus beat
+	CyclesPerBeat int   // CPU cycles per bus beat
+	QueueCap      int   // controller queue entries
+	SizeBytes     int64 // total capacity (128 MB)
+}
+
+// DefaultConfig returns the paper's memory system parameters.
+func DefaultConfig(mode Mode) Config {
+	return Config{
+		Mode:     mode,
+		L1Size:   32 << 10,
+		L1Line:   32,
+		L1Assoc:  1,
+		L1Banks:  8,
+		L1MSHRs:  8,
+		L1HitLat: 1,
+		WBDepth:  8,
+
+		ISize:  64 << 10,
+		ILine:  32,
+		IAssoc: 2,
+		IBanks: 4,
+		IMSHRs: 4,
+
+		L2Size:    1 << 20,
+		L2Line:    128,
+		L2Assoc:   2,
+		L2Banks:   2,
+		L2MSHRs:   8,
+		L2HitLat:  12,
+		L2BankOcc: 2,
+
+		GeneralPorts: 4,
+		ScalarPorts:  2,
+		VectorPorts:  2,
+
+		DRAM: DRAMConfig{
+			Banks:         32,
+			RowBytes:      2 << 10,
+			RowHitLat:     16,
+			RowMissLat:    48,
+			BeatBytes:     16,
+			CyclesPerBeat: 4,
+			QueueCap:      16,
+			SizeBytes:     128 << 20,
+		},
+
+		MSHRTargets: 4,
+	}
+}
+
+func log2(n int) uint {
+	var s uint
+	for n > 1 {
+		n >>= 1
+		s++
+	}
+	return s
+}

@@ -1,0 +1,114 @@
+package mem
+
+// dram models the Direct Rambus channel: a single command/data bus
+// shared by all device banks, open-page row buffers, and line-sized
+// transfers. One request starts per cycle at most; the bus serializes
+// transfers, which is the DRDRAM behaviour that matters for bandwidth
+// (16 bytes per beat, one beat every 4 CPU cycles = 3.2 GB/s at 800MHz).
+type dram struct {
+	cfg       DRAMConfig
+	st        *Stats
+	lineBytes int
+
+	queue     []dramReq
+	rows      []uint64
+	rowValid  []bool
+	busFreeAt int64
+	inflight  []dramDone
+}
+
+type dramReq struct {
+	lineAddr uint64
+	write    bool
+	ctx      int // caller context; <0 for fire-and-forget writes
+}
+
+type dramDone struct {
+	readyAt int64
+	ctx     int
+}
+
+func newDRAM(cfg DRAMConfig, st *Stats, lineBytes int) *dram {
+	return &dram{
+		cfg:       cfg,
+		st:        st,
+		lineBytes: lineBytes,
+		rows:      make([]uint64, cfg.Banks),
+		rowValid:  make([]bool, cfg.Banks),
+	}
+}
+
+// full reports whether the controller queue has no room for new reads.
+// Writebacks are always accepted (they drain from a buffered path).
+func (d *dram) full() bool {
+	return len(d.queue) >= d.cfg.QueueCap
+}
+
+func (d *dram) enqueue(r dramReq) {
+	d.queue = append(d.queue, r)
+}
+
+// transferCycles is the bus occupancy of one line transfer.
+func (d *dram) transferCycles() int64 {
+	beats := (d.lineBytes + d.cfg.BeatBytes - 1) / d.cfg.BeatBytes
+	return int64(beats * d.cfg.CyclesPerBeat)
+}
+
+// tick starts queued requests and delivers finished reads through
+// deliver. Row activation happens inside the device banks and overlaps
+// with other transfers; only the data transfer serializes on the
+// channel, so a busy queue streams lines at the full 3.2 GB/s.
+func (d *dram) tick(now int64, deliver func(ctx int)) {
+	for starts := 0; starts < 2 && len(d.queue) > 0; starts++ {
+		// Do not run unboundedly ahead of time: admit a request only
+		// when the bus backlog is shallow enough to schedule it now.
+		if d.busFreeAt > now+2*d.transferCycles() {
+			break
+		}
+		r := d.queue[0]
+		copy(d.queue, d.queue[1:])
+		d.queue = d.queue[:len(d.queue)-1]
+
+		// Row-interleaved mapping: consecutive lines fill one row of one
+		// bank before moving to the next bank, which is what gives
+		// streaming fills their row-buffer hits.
+		rowIdx := r.lineAddr / uint64(d.cfg.RowBytes)
+		bank := int(rowIdx % uint64(d.cfg.Banks))
+		row := rowIdx / uint64(d.cfg.Banks)
+		var rowLat int64
+		if d.rowValid[bank] && d.rows[bank] == row {
+			rowLat = int64(d.cfg.RowHitLat)
+			d.st.DRAMRowHits++
+		} else {
+			rowLat = int64(d.cfg.RowMissLat)
+			d.st.DRAMRowMisses++
+			d.rows[bank] = row
+			d.rowValid[bank] = true
+		}
+		start := now + rowLat
+		if d.busFreeAt > start {
+			start = d.busFreeAt
+		}
+		done := start + d.transferCycles()
+		d.st.DRAMBusyCyc += done - start
+		d.busFreeAt = done
+		if r.write {
+			d.st.DRAMWrites++
+		} else {
+			d.st.DRAMReads++
+			d.inflight = append(d.inflight, dramDone{readyAt: done, ctx: r.ctx})
+		}
+	}
+
+	// Deliver completed reads.
+	w := 0
+	for _, f := range d.inflight {
+		if f.readyAt <= now {
+			deliver(f.ctx)
+		} else {
+			d.inflight[w] = f
+			w++
+		}
+	}
+	d.inflight = d.inflight[:w]
+}

@@ -1,0 +1,79 @@
+package mem
+
+// Ideal is the perfect memory system of the paper's §5.2: every access
+// hits with the L1 hit latency and there are no bank conflicts. Port
+// bandwidth is still finite (it belongs to the processor, not the
+// memory), so vector streams drain at the port rate.
+type Ideal struct {
+	cfg       Config
+	st        Stats
+	portsUsed int
+	pending   []idealDone
+}
+
+type idealDone struct {
+	c       Completion
+	readyAt int64
+}
+
+// NewIdeal builds a perfect memory system.
+func NewIdeal(cfg Config) *Ideal {
+	return &Ideal{cfg: cfg}
+}
+
+// Access implements System. Loads complete after the L1 hit latency;
+// stores are absorbed immediately.
+func (m *Ideal) Access(now int64, r Request) bool {
+	if m.portsUsed >= m.cfg.GeneralPorts {
+		m.st.PortRejects++
+		return false
+	}
+	m.portsUsed++
+	if r.Vector {
+		m.st.VecAccesses++
+	}
+	if r.Store {
+		m.st.StoreAccesses++
+		return true
+	}
+	m.st.L1Accesses++
+	m.st.L1Hits++
+	lat := int32(m.cfg.L1HitLat)
+	m.st.L1LoadLatSum += int64(lat)
+	m.st.L1LoadCount++
+	m.pending = append(m.pending, idealDone{
+		c:       Completion{Tag: r.Tag, Lat: lat},
+		readyAt: now + int64(lat),
+	})
+	return true
+}
+
+// Drain implements System.
+func (m *Ideal) Drain(now int64, fn func(Completion)) {
+	w := 0
+	for _, p := range m.pending {
+		if p.readyAt <= now {
+			fn(p.c)
+		} else {
+			m.pending[w] = p
+			w++
+		}
+	}
+	m.pending = m.pending[:w]
+}
+
+// FetchLine implements System: the instruction cache always hits.
+func (m *Ideal) FetchLine(now int64, thread int, pc uint64) FetchResult {
+	m.st.ICAccesses++
+	m.st.ICHits++
+	return FetchHit
+}
+
+// FetchReady implements System.
+func (m *Ideal) FetchReady(thread int) bool { return true }
+
+// Tick implements System.
+func (m *Ideal) Tick(now int64) { m.portsUsed = 0 }
+
+// Stats implements System.
+func (m *Ideal) Stats() *Stats { return &m.st }

@@ -1,0 +1,99 @@
+// Package mem implements the simulated memory system of the paper's SMT
+// media processor: a banked write-through L1 data cache with MSHRs and a
+// coalescing write buffer, a banked 2-way instruction cache, an on-chip
+// 2-way write-back L2, and a Direct Rambus DRAM channel. Three system
+// organizations are provided:
+//
+//   - Ideal: neither cache misses nor bank conflicts (paper §5.2),
+//   - Conventional: four general-purpose memory ports into L1 (Fig. 7a),
+//   - Decoupled: two double-pumped scalar ports into L1 plus two vector
+//     ports directly into a two-bank L2 through a crossbar, with an
+//     exclusive-bit coherence policy between vector and scalar data
+//     (paper §5.4, Fig. 7b).
+package mem
+
+// Request is one element-level data access issued by the core. Stream
+// (vector) memory instructions are expanded by the core into one
+// Request per element.
+type Request struct {
+	Tag    uint64 // caller-assigned identity, echoed in the Completion
+	Addr   uint64
+	Thread uint8
+	Store  bool
+	Vector bool // issued by a vector (μ-SIMD stream) memory instruction
+}
+
+// Completion reports a finished load access.
+type Completion struct {
+	Tag uint64
+	Lat int32 // cycles from acceptance to data ready
+}
+
+// FetchResult is the outcome of an instruction-cache line fetch.
+type FetchResult uint8
+
+const (
+	// FetchHit: the line is available this cycle.
+	FetchHit FetchResult = iota
+	// FetchMiss: a miss was started; the thread must stall until
+	// FetchReady reports true again.
+	FetchMiss
+	// FetchBusy: a structural conflict (bank or port); retry next cycle.
+	FetchBusy
+)
+
+// System is the memory-system interface consumed by the pipeline.
+//
+// Protocol per cycle t: the core first calls Drain to collect load
+// completions with ready time <= t, then issues Access/FetchLine calls
+// for cycle t (each may be refused, in which case the core retries on a
+// later cycle), and finally calls Tick(t) to advance the system state.
+type System interface {
+	// Access attempts to start a data access in cycle now. A false
+	// return means a structural hazard (port, bank, MSHR or write
+	// buffer full); the caller must retry.
+	Access(now int64, r Request) bool
+	// Drain hands all completions that are ready at cycle now to fn.
+	Drain(now int64, fn func(Completion))
+	// FetchLine attempts to read the instruction-cache line holding pc.
+	FetchLine(now int64, thread int, pc uint64) FetchResult
+	// FetchReady reports whether the thread has no outstanding
+	// instruction-cache miss.
+	FetchReady(thread int) bool
+	// Tick advances the memory system at the end of cycle now.
+	Tick(now int64)
+	// Stats exposes the accumulated statistics.
+	Stats() *Stats
+}
+
+// Mode selects the system organization.
+type Mode uint8
+
+const (
+	// ModeIdeal is the perfect memory of §5.2.
+	ModeIdeal Mode = iota
+	// ModeConventional shares four general memory ports (Fig. 7a).
+	ModeConventional
+	// ModeDecoupled splits scalar L1 ports from vector L2 ports (Fig. 7b).
+	ModeDecoupled
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeIdeal:
+		return "ideal"
+	case ModeConventional:
+		return "conventional"
+	case ModeDecoupled:
+		return "decoupled"
+	}
+	return "mode?"
+}
+
+// New builds a memory system for the given mode.
+func New(cfg Config) System {
+	if cfg.Mode == ModeIdeal {
+		return NewIdeal(cfg)
+	}
+	return NewReal(cfg)
+}

@@ -1,0 +1,118 @@
+package mem
+
+// Stats accumulates memory-system statistics. The experiment harness
+// reads these to regenerate the paper's Table 4 (instruction-cache hit
+// rate, L1 hit rate and average L1 latency versus thread count).
+type Stats struct {
+	// L1 data cache (element-level accesses).
+	L1Accesses    int64
+	L1Hits        int64
+	L1DelayedHits int64 // merged into an in-flight miss (counts as a hit at full latency)
+	L1Misses      int64 // MSHR allocations (primary misses)
+	L1WBForwards  int64 // loads satisfied by the pending-store write buffer
+	L1Prefetches  int64 // next-line prefetches issued by the stream prefetcher
+
+	// Structural hazards.
+	L1BankConflicts int64
+	PortRejects     int64
+	MSHRFull        int64
+	WBFull          int64
+
+	// L1 load latency (acceptance to data ready), loads only.
+	L1LoadLatSum int64
+	L1LoadCount  int64
+
+	// Instruction cache.
+	ICAccesses int64
+	ICHits     int64
+	ICMisses   int64
+
+	// L2.
+	L2Accesses    int64
+	L2Hits        int64
+	L2DelayedHits int64 // merged into an in-flight DRAM fetch
+	L2Misses      int64 // L2 MSHR allocations
+
+	// Write buffer.
+	WBCoalesces int64
+	WBDrains    int64
+
+	// Vector path (decoupled hierarchy).
+	VecAccesses       int64
+	VecL2Direct       int64
+	VecInvalidations  int64 // exclusive-bit coherence: L1 lines invalidated by vector stores
+	VecLoadLatSum     int64
+	VecLoadCount      int64
+	StoreAccesses     int64
+	L2DirtyWritebacks int64
+
+	// Fill-path timing diagnostics.
+	L2QWaitSum   int64 // cycles requests wait before an L2 bank accepts them
+	L2QWaitCount int64
+	FillLatSum   int64 // acceptance-to-completion latency of L1 fill targets
+	FillLatCount int64
+	FillLatMax   int64
+
+	// DRAM.
+	DRAMReads     int64
+	DRAMWrites    int64
+	DRAMRowHits   int64
+	DRAMRowMisses int64
+	DRAMBusyCyc   int64
+}
+
+// ICHitRate returns the instruction-cache hit rate in [0,1].
+func (s *Stats) ICHitRate() float64 {
+	if s.ICAccesses == 0 {
+		return 1
+	}
+	return float64(s.ICHits) / float64(s.ICAccesses)
+}
+
+// L1HitRate returns the L1 data-cache hit rate in [0,1]. Write-buffer
+// forwards and delayed hits (merges into an in-flight line) count as
+// hits: the line was already on its way, so no new miss was caused.
+// The latency statistics still charge delayed hits their real wait.
+func (s *Stats) L1HitRate() float64 {
+	if s.L1Accesses == 0 {
+		return 1
+	}
+	return float64(s.L1Hits+s.L1DelayedHits+s.L1WBForwards) / float64(s.L1Accesses)
+}
+
+// L2HitRate returns the L2 hit rate in [0,1]; delayed hits count as
+// hits (see L1HitRate).
+func (s *Stats) L2HitRate() float64 {
+	if s.L2Accesses == 0 {
+		return 1
+	}
+	return float64(s.L2Hits+s.L2DelayedHits) / float64(s.L2Accesses)
+}
+
+// AvgL1LoadLat returns the average load latency observed at the L1
+// level in cycles (Table 4's "L1 Latency").
+func (s *Stats) AvgL1LoadLat() float64 {
+	if s.L1LoadCount == 0 {
+		return 0
+	}
+	return float64(s.L1LoadLatSum) / float64(s.L1LoadCount)
+}
+
+// AvgVecLoadLat returns the average vector-load element latency on the
+// decoupled path.
+func (s *Stats) AvgVecLoadLat() float64 {
+	if s.VecLoadCount == 0 {
+		return 0
+	}
+	return float64(s.VecLoadLatSum) / float64(s.VecLoadCount)
+}
+
+// DRAMRowHitRate returns the fraction of DRAM accesses that hit an open
+// row.
+func (s *Stats) DRAMRowHitRate() float64 {
+	n := s.DRAMRowHits + s.DRAMRowMisses
+	if n == 0 {
+		return 0
+	}
+	return float64(s.DRAMRowHits) / float64(n)
+}

@@ -1,0 +1,156 @@
+// Package sim drives multiprogrammed simulations using the paper's
+// §5.1 methodology: the eight-program list (Table 2, with mpeg2dec
+// twice) starts on as many hardware contexts as the machine has; when
+// a program completes, the next from the list starts on the freed
+// context, wrapping around with filler copies so the machine never
+// runs below its thread count; the run ends when the eighth primary
+// program finishes. The resulting IPC (MMX) and Equivalent IPC (MOM)
+// are the paper's throughput metrics.
+package sim
+
+import (
+	"fmt"
+
+	"mediasmt/internal/core"
+	"mediasmt/internal/mem"
+	"mediasmt/internal/workload"
+)
+
+// Config selects one simulation run.
+type Config struct {
+	ISA     core.ISAKind
+	Threads int
+	Policy  core.Policy
+	Memory  mem.Mode
+	Scale   float64 // workload size relative to 1/1000 of the paper's
+	Seed    uint64
+	// MaxCycles is a safety stop; 0 means the default (200M cycles).
+	MaxCycles int64
+	// CoreOverride and MemOverride replace the Table 1 / §3 defaults
+	// for ablation studies. Threads/ISA/Policy (and Mode) still come
+	// from this Config.
+	CoreOverride *core.Config
+	MemOverride  *mem.Config
+	// Programs overrides the paper's RunOrder when non-nil.
+	Programs []string
+}
+
+// Result summarizes one run.
+type Result struct {
+	Cfg       Config
+	Cycles    int64
+	IPC       float64
+	EquivIPC  float64
+	EIPC      float64 // == IPC for MMX runs
+	Core      core.Stats
+	Mem       mem.Stats
+	Completed int // primary programs finished
+	Started   int // total program instances (primaries + fillers)
+}
+
+func (c *Config) variant() workload.Variant {
+	if c.ISA == core.ISAMOM {
+		return workload.MOM
+	}
+	return workload.MMX
+}
+
+// Run executes one multiprogrammed simulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 200_000_000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 12345
+	}
+	order := cfg.Programs
+	if order == nil {
+		order = workload.RunOrder
+	}
+
+	ccfg := core.ConfigForThreads(cfg.ISA, cfg.Threads)
+	if cfg.CoreOverride != nil {
+		ccfg = *cfg.CoreOverride
+		ccfg.Threads = cfg.Threads
+		ccfg.ISA = cfg.ISA
+	}
+	ccfg.Policy = cfg.Policy
+
+	mcfg := mem.DefaultConfig(cfg.Memory)
+	if cfg.MemOverride != nil {
+		mcfg = *cfg.MemOverride
+		mcfg.Mode = cfg.Memory
+	}
+	msys := mem.New(mcfg)
+
+	p, err := core.New(ccfg, msys)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+
+	v := cfg.variant()
+	started := 0
+	primaries := len(order)
+	completedPrimary := 0
+	// primaryOn[ctx] is >= 0 while the context runs one of the first
+	// len(order) program instances.
+	primaryOn := make([]int, cfg.Threads)
+
+	launch := func(ctx int) {
+		name := order[started%len(order)]
+		b, err2 := workload.Get(name)
+		if err2 != nil {
+			panic(err2)
+		}
+		base := uint64(started+1) << 33 // private address space per instance
+		prog := b.Program(v, cfg.Seed+uint64(started)*7919, base, cfg.Scale)
+		p.SetProgram(ctx, prog, b.EIPCFactor(v))
+		if started < primaries {
+			primaryOn[ctx] = started
+		} else {
+			primaryOn[ctx] = -1
+		}
+		started++
+	}
+
+	for t := 0; t < cfg.Threads; t++ {
+		launch(t)
+	}
+
+	for p.Now() < cfg.MaxCycles && completedPrimary < primaries {
+		p.Cycle()
+		for t := 0; t < cfg.Threads; t++ {
+			if !p.ContextDrained(t) {
+				continue
+			}
+			if primaryOn[t] >= 0 {
+				completedPrimary++
+				primaryOn[t] = -1
+			}
+			if completedPrimary < primaries {
+				launch(t)
+			}
+		}
+	}
+
+	st := *p.Stats()
+	res := &Result{
+		Cfg:       cfg,
+		Cycles:    st.Cycles,
+		IPC:       st.IPC(),
+		EquivIPC:  st.EquivIPC(),
+		EIPC:      st.EIPC(),
+		Core:      st,
+		Mem:       *msys.Stats(),
+		Completed: completedPrimary,
+		Started:   started,
+	}
+	if completedPrimary < primaries {
+		return res, fmt.Errorf("sim: hit MaxCycles=%d with %d/%d programs complete (ipc %.3f)",
+			cfg.MaxCycles, completedPrimary, primaries, res.IPC)
+	}
+	return res, nil
+}

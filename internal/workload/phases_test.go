@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"testing"
+
+	"mediasmt/internal/isa"
+	"mediasmt/internal/trace"
+)
+
+// collect drains a single phase wrapped in a script.
+func collect(t *testing.T, ph trace.Phase, vl uint8) []trace.Inst {
+	t.Helper()
+	s, err := trace.NewScript("k", 1, 2, []trace.Phase{ph})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []trace.Inst
+	var in trace.Inst
+	for s.Next(&in) {
+		out = append(out, in)
+	}
+	return out
+}
+
+func regionFor(size uint64) region { return region{base: 0x100000, size: size} }
+
+func TestKernelPhasesBothVariantsValid(t *testing.T) {
+	r := regionFor(32 << 10)
+	tb := regionFor(4 << 10)
+	builders := map[string]func(v Variant) trace.Phase{
+		"sad":    func(v Variant) trace.Phase { return sadPhase(v, 0x1000, 32, r, r) },
+		"dct":    func(v Variant) trace.Phase { return dctPhase(v, 0x2000, 32, r, r, tb) },
+		"quant":  func(v Variant) trace.Phase { return quantPhase(v, 0x3000, 32, r, tb) },
+		"fir":    func(v Variant) trace.Phase { return firPhase(v, 0x4000, 32, r, tb) },
+		"interp": func(v Variant) trace.Phase { return interpPhase(v, 0x5000, 32, r, r, r) },
+	}
+	for name, build := range builders {
+		mmxInsts := collect(t, build(MMX), 0)
+		momInsts := collect(t, build(MOM), 16)
+		if len(mmxInsts) == 0 || len(momInsts) == 0 {
+			t.Fatalf("%s: empty kernel", name)
+		}
+		// MMX kernels must not contain MOM opcodes and vice versa.
+		for _, in := range mmxInsts {
+			if in.Op.IsMOM() {
+				t.Fatalf("%s: MOM opcode %v in MMX build", name, in.Op)
+			}
+		}
+		momHasStream := false
+		for _, in := range momInsts {
+			if in.Op.IsMMX() {
+				t.Fatalf("%s: MMX opcode %v in MOM build", name, in.Op)
+			}
+			if in.Op.Info().Stream && in.SLen > 1 {
+				momHasStream = true
+			}
+		}
+		if !momHasStream {
+			t.Errorf("%s: MOM build has no stream instructions", name)
+		}
+		// The MOM build does the same work in fewer raw instructions.
+		if len(momInsts) >= len(mmxInsts) {
+			t.Errorf("%s: MOM raw count %d >= MMX %d", name, len(momInsts), len(mmxInsts))
+		}
+	}
+}
+
+func TestKernelAddressesStayInRegions(t *testing.T) {
+	r := region{base: 0x100000, size: 32 << 10}
+	tb := region{base: 0x200000, size: 4 << 10}
+	for _, v := range []Variant{MMX, MOM} {
+		for _, in := range collect(t, dctPhase(v, 0x1000, 64, r, r, tb), 16) {
+			if in.Op.Info().Mem == isa.MemNone {
+				continue
+			}
+			last := in.Addr + uint64(in.ElemCount()-1)*uint64(in.Stride)
+			inR := in.Addr >= r.base && last < r.base+r.size
+			inT := in.Addr >= tb.base && last < tb.base+tb.size
+			if !inR && !inT {
+				t.Fatalf("%v: address %#x (last %#x) outside both regions", v, in.Addr, last)
+			}
+		}
+	}
+}
+
+func TestProtocolPhaseShape(t *testing.T) {
+	p := protocolPhase(protoParams{
+		name: "proto", pc: 0x1000, iters: 3, slots: 300, seed: 9,
+		tbl: regionFor(4 << 10), strm: region{base: 0x300000, size: 8 << 10},
+		local: region{base: 0x400000, size: 1 << 10},
+	})
+	// The generator stops adding picks at slots-3 and appends the loop
+	// tail, so the body lands within a few slots of the request.
+	if len(p.Body) < 290 || len(p.Body) > 305 {
+		t.Errorf("protocol body has %d slots, want about 300", len(p.Body))
+	}
+	var m trace.Mix
+	s := trace.MustScript("p", 1, 1, []trace.Phase{p})
+	var in trace.Inst
+	for s.Next(&in) {
+		m.Add(&in)
+	}
+	if got := m.Pct(isa.ClassMem); got < 12 || got > 30 {
+		t.Errorf("protocol mem%% = %.1f, want ~20", got)
+	}
+	if got := m.Pct(isa.ClassInt); got < 65 {
+		t.Errorf("protocol int%% = %.1f, want integer-dominated", got)
+	}
+	if got := 100 * float64(m.Branches) / float64(m.Total); got < 5 || got > 20 {
+		t.Errorf("protocol branch density %.1f%%, want 5-20%%", got)
+	}
+	if m.Counts[isa.ClassSIMD] != 0 {
+		t.Error("protocol code must not contain SIMD")
+	}
+}
+
+func TestMMXTailHeavierThanMOMTail(t *testing.T) {
+	// The MMX per-iteration loop overhead must exceed the shared tail:
+	// that difference is the scalar work MOM folds into its stream
+	// registers.
+	if len(mmxTail(nil)) <= len(loopTail(nil)) {
+		t.Error("mmxTail must carry more loop overhead than loopTail")
+	}
+}
+
+func TestStaggerSpreadsLayouts(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(1); i <= 16; i++ {
+		seen[stagger(i<<33)] = true
+	}
+	if len(seen) < 8 {
+		t.Errorf("stagger produced only %d distinct offsets for 16 instances", len(seen))
+	}
+}
+
+func TestWinAddrReusesWindow(t *testing.T) {
+	r := region{base: 0x1000, size: 64 << 10}
+	fn := winAddr(r, 2048, 16, 0, 512)
+	rng := trace.NewRNG(1)
+	seen := map[uint64]bool{}
+	for it := int64(0); it < 1000; it++ {
+		seen[fn(&trace.Ctx{Iter: it, Round: 0, RNG: rng})] = true
+	}
+	// 1000 iterations at 16 bytes/iter wrap inside the 2 KB window.
+	if len(seen) > 2048/16 {
+		t.Errorf("window walk touched %d distinct addresses, want <= %d", len(seen), 2048/16)
+	}
+	// The window must advance with the round.
+	a0 := fn(&trace.Ctx{Iter: 0, Round: 0, RNG: rng})
+	a1 := fn(&trace.Ctx{Iter: 0, Round: 1, RNG: rng})
+	if a0 == a1 {
+		t.Error("window must move across rounds")
+	}
+}
+
+func TestMomItersCoversWork(t *testing.T) {
+	for _, c := range []struct{ mmx, want int64 }{{1, 1}, {16, 1}, {17, 2}, {160, 10}} {
+		if got := momIters(c.mmx); got != c.want {
+			t.Errorf("momIters(%d) = %d, want %d", c.mmx, got, c.want)
+		}
+	}
+}
