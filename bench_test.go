@@ -5,6 +5,8 @@
 package mediasmt_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"mediasmt/internal/core"
@@ -107,6 +109,34 @@ func BenchmarkFig9Hierarchies(b *testing.B) {
 	b.Run("mom-ideal", func(b *testing.B) { benchRun(b, core.ISAMOM, 8, core.PolicyOCOUNT, mem.ModeIdeal) })
 	b.Run("mom-conv", func(b *testing.B) { benchRun(b, core.ISAMOM, 8, core.PolicyOCOUNT, mem.ModeConventional) })
 	b.Run("mom-decoupled", func(b *testing.B) { benchRun(b, core.ISAMOM, 8, core.PolicyOCOUNT, mem.ModeDecoupled) })
+}
+
+// BenchmarkSuitePrefetch measures the experiment engine regenerating
+// the Figure 5 simulation set sequentially (-j 1) and with one worker
+// per core; on a multi-core host the parallel variant's wall clock
+// should approach sequential/cores.
+func BenchmarkSuitePrefetch(b *testing.B) {
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("j%d", workers), func(b *testing.B) {
+			fig5, ok := exp.ByID("fig5")
+			if !ok || fig5.Configs == nil {
+				b.Fatal("fig5 experiment missing config declaration")
+			}
+			var sims int64
+			for i := 0; i < b.N; i++ {
+				s := exp.NewSuite(exp.Options{Scale: benchScale, Seed: 42, Workers: workers})
+				if err := s.Prefetch(fig5.Configs(s), nil); err != nil {
+					b.Fatal(err)
+				}
+				sims += s.Simulations()
+			}
+			b.ReportMetric(float64(sims)/b.Elapsed().Seconds(), "sims/s")
+		})
+	}
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed

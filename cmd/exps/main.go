@@ -3,17 +3,23 @@
 // Usage:
 //
 //	exps [-run table3,fig4,...|all] [-scale 1.0] [-seed 12345]
+//	     [-j N] [-json|-csv] [-v]
 //
-// Each experiment prints a fixed-width table with the measured values
-// next to the paper's reported numbers where applicable.
+// Every simulation the requested experiments need is deduplicated and
+// fanned out over -j workers (default GOMAXPROCS) before the artifacts
+// render in order, so table-mode stdout is byte-identical whatever the
+// worker count (-json embeds the worker count and timing, so only its
+// simulation results are invariant). Progress and timing go to stderr;
+// -v adds a line per simulation. -json emits the full structured
+// result set, -csv the per-simulation metrics table.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
-	"time"
 
 	"mediasmt/internal/exp"
 )
@@ -22,28 +28,69 @@ func main() {
 	runList := flag.String("run", "all", "comma-separated experiment ids or 'all' ("+strings.Join(exp.IDs(), ", ")+")")
 	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = 1/1000 of the paper's instruction counts)")
 	seed := flag.Uint64("seed", 12345, "simulation seed")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrently running simulations")
+	jsonOut := flag.Bool("json", false, "emit the structured result set as JSON on stdout")
+	csvOut := flag.Bool("csv", false, "emit per-simulation metrics as CSV on stdout")
+	verbose := flag.Bool("v", false, "log each completed simulation to stderr")
 	flag.Parse()
 
-	suite := exp.NewSuite(exp.Options{Scale: *scale, Seed: *seed})
+	if *jsonOut && *csvOut {
+		fmt.Fprintln(os.Stderr, "exps: -json and -csv are mutually exclusive")
+		os.Exit(2)
+	}
 
 	var ids []string
 	if *runList == "all" {
 		ids = exp.IDs()
 	} else {
-		ids = strings.Split(*runList, ",")
-	}
-	for _, id := range ids {
-		e, ok := exp.ByID(strings.TrimSpace(id))
-		if !ok {
-			fmt.Fprintf(os.Stderr, "exps: unknown experiment %q (have: %s)\n", id, strings.Join(exp.IDs(), ", "))
-			os.Exit(2)
+		for _, id := range strings.Split(*runList, ",") {
+			ids = append(ids, strings.TrimSpace(id))
 		}
-		start := time.Now()
-		out, err := e.Run(suite)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "exps: %s: %v\n", e.ID, err)
+	}
+
+	suite := exp.NewSuite(exp.Options{Scale: *scale, Seed: *seed, Workers: *workers})
+
+	prog := exp.Progress{
+		Experiment: func(done, total int, res exp.ExperimentResult) {
+			fmt.Fprintf(os.Stderr, "exps: [%d/%d] %s (%.1fs)\n", done, total, res.ID, res.Seconds)
+			if !*jsonOut && !*csvOut && res.Err == "" {
+				fmt.Printf("== %s — %s\n\n%s\n", res.ID, res.Title, res.Output)
+			}
+		},
+	}
+	if *verbose {
+		prog.Sim = func(done, total int, key string) {
+			fmt.Fprintf(os.Stderr, "exps: sim %d/%d %s\n", done, total, key)
+		}
+	}
+
+	rs, err := suite.RunExperiments(ids, prog)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "exps: %v\n", err)
+		if rs == nil {
+			os.Exit(2) // usage error (unknown experiment id), before any simulation
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "exps: %d experiments, %d simulations, %d workers, %.1fs total\n",
+			len(rs.Experiments), rs.Simulations, rs.Workers, rs.WallSeconds)
+	}
+
+	// A partial result set still emits, so completed simulations
+	// survive a late failure; the exit code stays non-zero.
+	if rs != nil {
+		var emitErr error
+		switch {
+		case *jsonOut:
+			emitErr = rs.WriteJSON(os.Stdout)
+		case *csvOut:
+			emitErr = rs.WriteCSV(os.Stdout)
+		}
+		if emitErr != nil {
+			fmt.Fprintf(os.Stderr, "exps: emit: %v\n", emitErr)
 			os.Exit(1)
 		}
-		fmt.Printf("== %s — %s (%.1fs)\n\n%s\n", e.ID, e.Title, time.Since(start).Seconds(), out)
+	}
+	if err != nil {
+		os.Exit(1)
 	}
 }

@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"os"
 
-	"mediasmt/internal/core"
 	"mediasmt/internal/mem"
 	"mediasmt/internal/sim"
 )
@@ -27,39 +26,9 @@ func main() {
 	seed := flag.Uint64("seed", 12345, "simulation seed")
 	flag.Parse()
 
-	cfg := sim.Config{Threads: *threads, Scale: *scale, Seed: *seed}
-
-	switch *isaFlag {
-	case "mmx":
-		cfg.ISA = core.ISAMMX
-	case "mom":
-		cfg.ISA = core.ISAMOM
-	default:
-		fmt.Fprintf(os.Stderr, "smtsim: unknown isa %q\n", *isaFlag)
-		os.Exit(2)
-	}
-	switch *policy {
-	case "rr":
-		cfg.Policy = core.PolicyRR
-	case "ic":
-		cfg.Policy = core.PolicyICOUNT
-	case "oc":
-		cfg.Policy = core.PolicyOCOUNT
-	case "bl":
-		cfg.Policy = core.PolicyBALANCE
-	default:
-		fmt.Fprintf(os.Stderr, "smtsim: unknown policy %q\n", *policy)
-		os.Exit(2)
-	}
-	switch *memFlag {
-	case "ideal":
-		cfg.Memory = mem.ModeIdeal
-	case "conventional":
-		cfg.Memory = mem.ModeConventional
-	case "decoupled":
-		cfg.Memory = mem.ModeDecoupled
-	default:
-		fmt.Fprintf(os.Stderr, "smtsim: unknown memory mode %q\n", *memFlag)
+	cfg, err := buildConfig(*isaFlag, *policy, *memFlag, *threads, *scale, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smtsim: %v\n", err)
 		os.Exit(2)
 	}
 

@@ -6,7 +6,13 @@
 // multiprogrammed MPEG-4-style media workload over ideal, conventional
 // and decoupled memory hierarchies.
 //
-// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
-// paper-versus-measured results, cmd/exps for regenerating every table
-// and figure, and examples/ for runnable usage of the public packages.
+// Quickstart:
+//
+//	go build ./... && go test ./...
+//	go run ./cmd/smtsim -isa mom -threads 8 -policy oc -mem decoupled
+//	go run ./cmd/exps -run all -j 8 -json
+//
+// See README.md for the package layout, cmd/exps for regenerating
+// every table and figure (deduplicated and fanned out over a worker
+// pool), and examples/ for runnable usage of the public packages.
 package mediasmt

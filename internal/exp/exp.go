@@ -24,14 +24,19 @@ type Options struct {
 	// smaller values.
 	Scale float64
 	Seed  uint64
+	// Workers bounds how many simulations run concurrently; 0 means
+	// GOMAXPROCS. Simulations are deterministic per config, so the
+	// worker count changes wall clock, never results.
+	Workers int
 }
 
-// Suite runs experiments, caching simulation results so that
-// experiments sharing configurations (Figure 5 and Table 4, for
-// example) pay for each simulation once.
+// Suite runs experiments through a concurrent scheduler: simulation
+// results are cached on the full configuration key so that experiments
+// sharing configurations (Figure 5 and Table 4, for example) pay for
+// each simulation once, even when requested concurrently.
 type Suite struct {
 	opts  Options
-	cache map[string]*sim.Result
+	sched *scheduler
 }
 
 // NewSuite builds a suite.
@@ -42,50 +47,77 @@ func NewSuite(opts Options) *Suite {
 	if opts.Seed == 0 {
 		opts.Seed = 12345
 	}
-	return &Suite{opts: opts, cache: make(map[string]*sim.Result)}
+	return &Suite{opts: opts, sched: newScheduler(opts.Workers)}
 }
 
-// Run executes one cached simulation.
-func (s *Suite) Run(isa core.ISAKind, threads int, pol core.Policy, mode mem.Mode) (*sim.Result, error) {
-	key := fmt.Sprintf("%v/%d/%v/%v", isa, threads, pol, mode)
-	if r, ok := s.cache[key]; ok {
-		return r, nil
-	}
-	r, err := sim.Run(sim.Config{
+// Config builds the full simulation config for the suite's scale and
+// seed. Experiments use it both to declare configs up front and to
+// fetch results while rendering.
+func (s *Suite) Config(isa core.ISAKind, threads int, pol core.Policy, mode mem.Mode) sim.Config {
+	return sim.Config{
 		ISA:     isa,
 		Threads: threads,
 		Policy:  pol,
 		Memory:  mode,
 		Scale:   s.opts.Scale,
 		Seed:    s.opts.Seed,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("exp: %s: %w", key, err)
 	}
-	s.cache[key] = r
+}
+
+// RunConfig executes one simulation through the scheduler, deduplicated
+// and cached on the canonical config key. Safe for concurrent use.
+func (s *Suite) RunConfig(cfg sim.Config) (*sim.Result, error) {
+	r, err := s.sched.run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", cfg.Key(), err)
+	}
 	return r, nil
 }
 
-// Experiment is one regenerable artifact.
+// Run executes one cached simulation at the suite's scale and seed.
+func (s *Suite) Run(isa core.ISAKind, threads int, pol core.Policy, mode mem.Mode) (*sim.Result, error) {
+	return s.RunConfig(s.Config(isa, threads, pol, mode))
+}
+
+// Prefetch warms the result cache for cfgs using the suite's worker
+// pool; duplicate keys are dropped up front, so onDone, if non-nil,
+// observes progress over unique, successfully-resolved configs only.
+func (s *Suite) Prefetch(cfgs []sim.Config, onDone func(done, total int, key string)) error {
+	return s.sched.prefetch(cfgs, onDone)
+}
+
+// Simulations reports how many simulations the suite executed
+// successfully (cache hits and failed runs excluded).
+func (s *Suite) Simulations() int64 { return s.sched.simulations() }
+
+// Workers reports the concurrency bound the suite schedules under.
+func (s *Suite) Workers() int { return s.sched.workers() }
+
+// Experiment is one regenerable artifact. Configs, when non-nil,
+// declares every simulation the experiment needs so a suite can fan
+// them out over the worker pool before Run renders from the warm
+// cache; experiments without simulations (the static tables) leave it
+// nil.
 type Experiment struct {
-	ID    string
-	Title string
-	Run   func(*Suite) (string, error)
+	ID      string
+	Title   string
+	Run     func(*Suite) (string, error)
+	Configs func(*Suite) []sim.Config
 }
 
 // Experiments lists every artifact in paper order.
 var Experiments = []Experiment{
-	{"table1", "Table 1: architectural parameters vs. thread count", (*Suite).Table1},
-	{"table2", "Table 2: multiprogrammed workload description", (*Suite).Table2},
-	{"table3", "Table 3: instruction breakdown (%) and counts", (*Suite).Table3},
-	{"fig4", "Figure 4: performance with perfect cache", (*Suite).Fig4},
-	{"fig5", "Figure 5: performance under real memory system", (*Suite).Fig5},
-	{"table4", "Table 4: cache behaviour vs. thread count", (*Suite).Table4},
-	{"fig6", "Figure 6: impact of fetch policies (conventional L1)", (*Suite).Fig6},
-	{"fig8", "Figure 8: fetch policies under the decoupled hierarchy", (*Suite).Fig8},
-	{"fig9", "Figure 9: benefits of bypassing L1 on vector accesses", (*Suite).Fig9},
-	{"headline", "Headline: speedups over the uni-threaded MMX superscalar", (*Suite).Headline},
-	{"issuemix", "Analysis: vector/scalar issue mix (section 5.3 claim)", (*Suite).IssueMix},
+	{ID: "table1", Title: "Table 1: architectural parameters vs. thread count", Run: (*Suite).Table1},
+	{ID: "table2", Title: "Table 2: multiprogrammed workload description", Run: (*Suite).Table2},
+	{ID: "table3", Title: "Table 3: instruction breakdown (%) and counts", Run: (*Suite).Table3},
+	{ID: "fig4", Title: "Figure 4: performance with perfect cache", Run: (*Suite).Fig4, Configs: (*Suite).fig4Configs},
+	{ID: "fig5", Title: "Figure 5: performance under real memory system", Run: (*Suite).Fig5, Configs: (*Suite).fig5Configs},
+	{ID: "table4", Title: "Table 4: cache behaviour vs. thread count", Run: (*Suite).Table4, Configs: (*Suite).table4Configs},
+	{ID: "fig6", Title: "Figure 6: impact of fetch policies (conventional L1)", Run: (*Suite).Fig6, Configs: (*Suite).fig6Configs},
+	{ID: "fig8", Title: "Figure 8: fetch policies under the decoupled hierarchy", Run: (*Suite).Fig8, Configs: (*Suite).fig8Configs},
+	{ID: "fig9", Title: "Figure 9: benefits of bypassing L1 on vector accesses", Run: (*Suite).Fig9, Configs: (*Suite).fig9Configs},
+	{ID: "headline", Title: "Headline: speedups over the uni-threaded MMX superscalar", Run: (*Suite).Headline, Configs: (*Suite).headlineConfigs},
+	{ID: "issuemix", Title: "Analysis: vector/scalar issue mix (section 5.3 claim)", Run: (*Suite).IssueMix, Configs: (*Suite).issueMixConfigs},
 }
 
 // ByID returns an experiment.
@@ -162,10 +194,23 @@ var policies = []core.Policy{core.PolicyRR, core.PolicyICOUNT, core.PolicyOCOUNT
 
 // sortedCacheKeys helps tests introspect what a suite has run.
 func (s *Suite) sortedCacheKeys() []string {
-	keys := make([]string, 0, len(s.cache))
-	for k := range s.cache {
-		keys = append(keys, k)
-	}
+	keys := s.sched.keys()
 	sort.Strings(keys)
 	return keys
+}
+
+// configSet builds the cross product of the given axes at the suite's
+// scale and seed, in a deterministic order.
+func (s *Suite) configSet(isas []core.ISAKind, threads []int, pols []core.Policy, modes []mem.Mode) []sim.Config {
+	var out []sim.Config
+	for _, th := range threads {
+		for _, k := range isas {
+			for _, p := range pols {
+				for _, m := range modes {
+					out = append(out, s.Config(k, th, p, m))
+				}
+			}
+		}
+	}
+	return out
 }

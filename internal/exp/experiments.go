@@ -7,9 +7,60 @@ import (
 	"mediasmt/internal/core"
 	"mediasmt/internal/isa"
 	"mediasmt/internal/mem"
+	"mediasmt/internal/sim"
 	"mediasmt/internal/trace"
 	"mediasmt/internal/workload"
 )
+
+// The *Configs methods declare, per experiment, exactly the simulation
+// set its Run method fetches, so a suite can fan the whole set out over
+// the worker pool before rendering. TestConfigsCoverExperiments keeps
+// the declarations honest.
+
+var bothISAs = []core.ISAKind{core.ISAMMX, core.ISAMOM}
+
+func (s *Suite) fig4Configs() []sim.Config {
+	return s.configSet(bothISAs, threadCounts, []core.Policy{core.PolicyRR}, []mem.Mode{mem.ModeIdeal})
+}
+
+func (s *Suite) fig5Configs() []sim.Config {
+	return s.configSet(bothISAs, threadCounts, []core.Policy{core.PolicyRR},
+		[]mem.Mode{mem.ModeIdeal, mem.ModeConventional})
+}
+
+func (s *Suite) table4Configs() []sim.Config {
+	return s.configSet(bothISAs, threadCounts, []core.Policy{core.PolicyRR}, []mem.Mode{mem.ModeConventional})
+}
+
+func (s *Suite) policyTableConfigs(mode mem.Mode) []sim.Config {
+	modes := []mem.Mode{mode}
+	return append(
+		s.configSet([]core.ISAKind{core.ISAMMX}, threadCounts,
+			[]core.Policy{core.PolicyRR, core.PolicyICOUNT, core.PolicyBALANCE}, modes),
+		s.configSet([]core.ISAKind{core.ISAMOM}, threadCounts, policies, modes)...)
+}
+
+func (s *Suite) fig6Configs() []sim.Config { return s.policyTableConfigs(mem.ModeConventional) }
+
+func (s *Suite) fig8Configs() []sim.Config { return s.policyTableConfigs(mem.ModeDecoupled) }
+
+func (s *Suite) fig9Configs() []sim.Config {
+	modes := []mem.Mode{mem.ModeIdeal, mem.ModeConventional, mem.ModeDecoupled}
+	return append(
+		s.configSet([]core.ISAKind{core.ISAMMX}, threadCounts, []core.Policy{core.PolicyICOUNT}, modes),
+		s.configSet([]core.ISAKind{core.ISAMOM}, threadCounts, []core.Policy{core.PolicyOCOUNT}, modes)...)
+}
+
+func (s *Suite) headlineConfigs() []sim.Config {
+	modes := []mem.Mode{mem.ModeConventional, mem.ModeDecoupled}
+	cfgs := []sim.Config{s.Config(core.ISAMMX, 1, core.PolicyRR, mem.ModeConventional)}
+	cfgs = append(cfgs, s.configSet([]core.ISAKind{core.ISAMMX}, threadCounts, []core.Policy{core.PolicyICOUNT}, modes)...)
+	return append(cfgs, s.configSet([]core.ISAKind{core.ISAMOM}, threadCounts, []core.Policy{core.PolicyOCOUNT}, modes)...)
+}
+
+func (s *Suite) issueMixConfigs() []sim.Config {
+	return s.configSet(bothISAs, []int{1, 8}, []core.Policy{core.PolicyRR}, []mem.Mode{mem.ModeConventional})
+}
 
 // Table1 prints the architectural parameters per thread count (the
 // paper's Table 1: physical registers and window sizes chosen for

@@ -1,0 +1,204 @@
+package exp
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"mediasmt/internal/sim"
+)
+
+// ExperimentResult is one rendered artifact plus its bookkeeping.
+type ExperimentResult struct {
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	Output  string  `json:"output"`
+	Seconds float64 `json:"seconds"`
+	Err     string  `json:"error,omitempty"`
+}
+
+// SimRecord is the flattened, emit-friendly summary of one simulation.
+type SimRecord struct {
+	Key       string  `json:"key"`
+	ISA       string  `json:"isa"`
+	Threads   int     `json:"threads"`
+	Policy    string  `json:"policy"`
+	Memory    string  `json:"memory"`
+	Scale     float64 `json:"scale"`
+	Seed      uint64  `json:"seed"`
+	Cycles    int64   `json:"cycles"`
+	IPC       float64 `json:"ipc"`
+	EquivIPC  float64 `json:"equiv_ipc"`
+	EIPC      float64 `json:"eipc"`
+	Completed int     `json:"completed"`
+	Started   int     `json:"started"`
+	ICHitRate float64 `json:"icache_hit_rate"`
+	L1HitRate float64 `json:"l1_hit_rate"`
+	L2HitRate float64 `json:"l2_hit_rate"`
+	AvgL1Lat  float64 `json:"avg_l1_load_latency"`
+	// Overrides summarizes any core/memory parameter overrides, so
+	// ablation-sweep rows stay distinguishable in structured output.
+	Overrides string `json:"overrides,omitempty"`
+}
+
+// ResultSet is the structured output of a suite run: every rendered
+// experiment plus the per-simulation metrics behind them.
+type ResultSet struct {
+	Scale       float64            `json:"scale"`
+	Seed        uint64             `json:"seed"`
+	Workers     int                `json:"workers"`
+	Simulations int64              `json:"simulations"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Experiments []ExperimentResult `json:"experiments"`
+	Sims        []SimRecord        `json:"sims"`
+}
+
+// WriteJSON emits the full result set as indented JSON.
+func (rs *ResultSet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rs)
+}
+
+// csvHeader matches the row layout built inline in WriteCSV.
+var csvHeader = []string{
+	"key", "isa", "threads", "policy", "memory", "scale", "seed",
+	"cycles", "ipc", "equiv_ipc", "eipc", "completed", "started",
+	"icache_hit_rate", "l1_hit_rate", "l2_hit_rate", "avg_l1_load_latency",
+	"overrides",
+}
+
+// WriteCSV emits the per-simulation metrics as CSV, one row per
+// simulation, ordered by canonical key.
+func (rs *ResultSet) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range rs.Sims {
+		row := []string{
+			r.Key, r.ISA, strconv.Itoa(r.Threads), r.Policy, r.Memory,
+			strconv.FormatFloat(r.Scale, 'g', -1, 64), strconv.FormatUint(r.Seed, 10),
+			strconv.FormatInt(r.Cycles, 10),
+			strconv.FormatFloat(r.IPC, 'f', 6, 64),
+			strconv.FormatFloat(r.EquivIPC, 'f', 6, 64),
+			strconv.FormatFloat(r.EIPC, 'f', 6, 64),
+			strconv.Itoa(r.Completed), strconv.Itoa(r.Started),
+			strconv.FormatFloat(r.ICHitRate, 'f', 6, 64),
+			strconv.FormatFloat(r.L1HitRate, 'f', 6, 64),
+			strconv.FormatFloat(r.L2HitRate, 'f', 6, 64),
+			strconv.FormatFloat(r.AvgL1Lat, 'f', 6, 64),
+			r.Overrides,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SimRecords snapshots every completed simulation, ordered by key.
+func (s *Suite) SimRecords() []SimRecord {
+	results := s.sched.completed()
+	keys := make([]string, 0, len(results))
+	for k := range results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]SimRecord, 0, len(keys))
+	for _, k := range keys {
+		r := results[k]
+		cfg := r.Cfg.Normalize()
+		out = append(out, SimRecord{
+			Key:       k,
+			ISA:       cfg.ISA.String(),
+			Threads:   cfg.Threads,
+			Policy:    cfg.Policy.String(),
+			Memory:    cfg.Memory.String(),
+			Scale:     cfg.Scale,
+			Seed:      cfg.Seed,
+			Cycles:    r.Cycles,
+			IPC:       r.IPC,
+			EquivIPC:  r.EquivIPC,
+			EIPC:      r.EIPC,
+			Completed: r.Completed,
+			Started:   r.Started,
+			ICHitRate: r.Mem.ICHitRate(),
+			L1HitRate: r.Mem.L1HitRate(),
+			L2HitRate: r.Mem.L2HitRate(),
+			AvgL1Lat:  r.Mem.AvgL1LoadLat(),
+			Overrides: strings.Join(cfg.OverrideStrings(), " "),
+		})
+	}
+	return out
+}
+
+// Progress carries optional observers for a RunExperiments call.
+// Sim fires after each prefetched simulation settles; Experiment fires
+// after each artifact renders. Both may be nil.
+type Progress struct {
+	Sim        func(done, total int, key string)
+	Experiment func(done, total int, res ExperimentResult)
+}
+
+// RunExperiments resolves ids, fans every declared simulation out over
+// the suite's worker pool, then renders each experiment in order from
+// the warm cache. Rendering order — and therefore output — is
+// independent of the worker count. On a simulation or rendering error
+// the partial result set is returned alongside the error.
+func (s *Suite) RunExperiments(ids []string, prog Progress) (*ResultSet, error) {
+	exps := make([]Experiment, 0, len(ids))
+	for _, id := range ids {
+		e, ok := ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("exp: unknown experiment %q (have: %s)", id, strings.Join(IDs(), ", "))
+		}
+		exps = append(exps, e)
+	}
+
+	rs := &ResultSet{Scale: s.opts.Scale, Seed: s.opts.Seed, Workers: s.Workers()}
+	start := time.Now()
+	finish := func() {
+		rs.Simulations = s.Simulations()
+		rs.Sims = s.SimRecords()
+		rs.WallSeconds = time.Since(start).Seconds()
+	}
+
+	// Prefetch dedups by canonical key, so cross-experiment overlap
+	// costs nothing and progress done/total counts unique simulations.
+	var cfgs []sim.Config
+	for _, e := range exps {
+		if e.Configs != nil {
+			cfgs = append(cfgs, e.Configs(s)...)
+		}
+	}
+	if err := s.Prefetch(cfgs, prog.Sim); err != nil {
+		finish()
+		return rs, fmt.Errorf("exp: prefetch: %w", err)
+	}
+
+	for i, e := range exps {
+		t0 := time.Now()
+		out, err := e.Run(s)
+		res := ExperimentResult{ID: e.ID, Title: e.Title, Output: out, Seconds: time.Since(t0).Seconds()}
+		if err != nil {
+			res.Err = err.Error()
+		}
+		rs.Experiments = append(rs.Experiments, res)
+		if prog.Experiment != nil {
+			prog.Experiment(i+1, len(exps), res)
+		}
+		if err != nil {
+			finish()
+			return rs, fmt.Errorf("exp: %s: %w", e.ID, err)
+		}
+	}
+	finish()
+	return rs, nil
+}

@@ -1,0 +1,180 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mediasmt/internal/sim"
+)
+
+// scheduler executes simulations at most once per canonical config key
+// (singleflight) through a bounded worker pool. It is safe for
+// concurrent use: experiments rendered in parallel, or a Prefetch
+// racing lazy Run calls, all collapse onto the same in-flight
+// simulation.
+type scheduler struct {
+	sem chan struct{} // bounds concurrently executing simulations
+
+	mu      sync.Mutex
+	entries map[string]*schedEntry
+
+	sims atomic.Int64 // simulations actually executed (not cache hits)
+}
+
+// schedEntry is one singleflight slot. done is closed once res/err are
+// final; waiters block on it instead of re-running the simulation.
+type schedEntry struct {
+	done chan struct{}
+	res  *sim.Result
+	err  error
+}
+
+func newScheduler(workers int) *scheduler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &scheduler{
+		sem:     make(chan struct{}, workers),
+		entries: make(map[string]*schedEntry),
+	}
+}
+
+// workers reports the pool bound.
+func (s *scheduler) workers() int { return cap(s.sem) }
+
+// run returns the cached result for cfg, executing the simulation if
+// this is the first caller for its key. Concurrent callers with the
+// same key share one execution and one result.
+func (s *scheduler) run(cfg sim.Config) (*sim.Result, error) {
+	key := cfg.Key()
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.mu.Unlock()
+		<-e.done
+		return e.res, e.err
+	}
+	e := &schedEntry{done: make(chan struct{})}
+	s.entries[key] = e
+	s.mu.Unlock()
+
+	// The deferred close/release make a simulation panic (e.g. an
+	// unsupported thread count reaching core.ConfigForThreads) surface
+	// as this entry's error instead of deadlocking waiters on done and
+	// leaking the worker slot.
+	func() {
+		defer close(e.done)
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		defer func() {
+			if p := recover(); p != nil {
+				e.err = fmt.Errorf("simulation panicked: %v", p)
+			}
+		}()
+		e.res, e.err = sim.Run(cfg)
+		if e.err == nil {
+			s.sims.Add(1)
+		}
+	}()
+	return e.res, e.err
+}
+
+// prefetch warms the cache for cfgs concurrently, bounded by the
+// worker pool. Duplicate keys are dropped up front so no worker idles
+// on an in-flight duplicate and progress counts unique simulations.
+// onDone, if non-nil, is called after each unique config resolves
+// successfully (cache hits included) with the number completed so
+// far; calls are serialized. The first simulation error is returned;
+// configs not yet dispatched when it occurs are skipped, and neither
+// failed nor skipped configs fire onDone — on error, progress simply
+// stops short of total.
+func (s *scheduler) prefetch(cfgs []sim.Config, onDone func(done, total int, key string)) error {
+	seen := make(map[string]bool, len(cfgs))
+	unique := cfgs[:0:0]
+	for _, cfg := range cfgs {
+		if k := cfg.Key(); !seen[k] {
+			seen[k] = true
+			unique = append(unique, cfg)
+		}
+	}
+	cfgs = unique
+	var (
+		wg       sync.WaitGroup
+		progMu   sync.Mutex
+		finished int
+		errOnce  sync.Once
+		firstErr error
+		failed   atomic.Bool
+	)
+	if len(cfgs) == 0 {
+		return nil
+	}
+	workers := s.workers()
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	feed := make(chan sim.Config)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for cfg := range feed {
+				if failed.Load() {
+					continue // fail fast: drain without simulating
+				}
+				_, err := s.run(cfg)
+				if err != nil {
+					failed.Store(true)
+					errOnce.Do(func() { firstErr = fmt.Errorf("%s: %w", cfg.Key(), err) })
+					continue
+				}
+				if onDone != nil {
+					progMu.Lock()
+					finished++
+					onDone(finished, len(cfgs), cfg.Key())
+					progMu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, cfg := range cfgs {
+		feed <- cfg
+	}
+	close(feed)
+	wg.Wait()
+	return firstErr
+}
+
+// simulations reports how many simulations executed successfully
+// (cache misses; failed or panicked runs excluded, keeping the count
+// reconcilable with the completed-result records).
+func (s *scheduler) simulations() int64 { return s.sims.Load() }
+
+// completed snapshots every finished, successful simulation by key.
+func (s *scheduler) completed() map[string]*sim.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]*sim.Result, len(s.entries))
+	for k, e := range s.entries {
+		select {
+		case <-e.done:
+			if e.err == nil && e.res != nil {
+				out[k] = e.res
+			}
+		default:
+		}
+	}
+	return out
+}
+
+// keys returns the canonical keys of every entry ever scheduled.
+func (s *scheduler) keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package exp
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"mediasmt/internal/core"
+	"mediasmt/internal/mem"
+	"mediasmt/internal/sim"
+)
+
+// TestSchedulerDedup: many concurrent requests for one config must run
+// exactly one simulation.
+func TestSchedulerDedup(t *testing.T) {
+	s := NewSuite(Options{Scale: 0.05, Seed: 7, Workers: 4})
+	cfg := s.Config(core.ISAMMX, 1, core.PolicyRR, mem.ModeIdeal)
+	var wg sync.WaitGroup
+	results := make([]*sim.Result, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := s.RunConfig(cfg)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	if got := s.Simulations(); got != 1 {
+		t.Errorf("8 concurrent identical requests ran %d simulations, want 1", got)
+	}
+	for _, r := range results[1:] {
+		if r != results[0] {
+			t.Error("concurrent callers must share the same cached result")
+		}
+	}
+}
+
+// TestPrefetchDedupAcrossExperiments: experiments sharing configs
+// (Figure 5's ideal-memory points also appear in Figure 4) must pay
+// for each simulation once.
+func TestPrefetchDedupAcrossExperiments(t *testing.T) {
+	s := NewSuite(Options{Scale: 0.05, Seed: 7, Workers: 4})
+	cfgs := append(s.fig4Configs(), s.fig5Configs()...)
+	if len(cfgs) != 8+16 {
+		t.Fatalf("declared %d configs, want 24", len(cfgs))
+	}
+	// Prefetch dedups up front: progress counts unique configs only.
+	var calls int
+	if err := s.Prefetch(cfgs, func(done, total int, key string) {
+		calls++
+		if total != 16 {
+			t.Errorf("progress total = %d, want 16 unique configs", total)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 16 {
+		t.Errorf("progress fired %d times, want 16", calls)
+	}
+	// fig4 (8 ideal) is a subset of fig5 (8 ideal + 8 conventional).
+	if got := s.Simulations(); got != 16 {
+		t.Errorf("24 requested configs ran %d simulations, want 16 after dedup", got)
+	}
+}
+
+// TestCacheKeyScaleRegression: configs differing only in scale or seed
+// must not alias — the seed's cache key omitted both.
+func TestCacheKeyScaleRegression(t *testing.T) {
+	s := NewSuite(Options{Scale: 0.05, Seed: 7, Workers: 2})
+	small := s.Config(core.ISAMMX, 1, core.PolicyRR, mem.ModeIdeal)
+	big := small
+	big.Scale = 0.1
+	reseeded := small
+	reseeded.Seed = 8
+
+	rs, err := s.RunConfig(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := s.RunConfig(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := s.RunConfig(reseeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Simulations(); got != 3 {
+		t.Fatalf("scale/seed variants ran %d simulations, want 3 distinct", got)
+	}
+	if rs == rb || rs.Cycles == rb.Cycles {
+		t.Errorf("double-scale run aliased the small run (cycles %d vs %d)", rs.Cycles, rb.Cycles)
+	}
+	if rs == rr {
+		t.Error("reseeded run returned the aliased result pointer")
+	}
+}
+
+// suiteOutputs renders ids end to end and returns the concatenated
+// artifact text.
+func suiteOutputs(t *testing.T, workers int, ids []string) string {
+	t.Helper()
+	s := NewSuite(Options{Scale: 0.05, Seed: 7, Workers: workers})
+	rs, err := s.RunExperiments(ids, Progress{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, e := range rs.Experiments {
+		b.WriteString(e.Output)
+	}
+	return b.String()
+}
+
+// TestParallelMatchesSequential: the parallel suite must produce output
+// byte-identical to the sequential run.
+func TestParallelMatchesSequential(t *testing.T) {
+	ids := []string{"table3", "fig4", "fig5", "issuemix"}
+	seq := suiteOutputs(t, 1, ids)
+	par := suiteOutputs(t, 8, ids)
+	if seq != par {
+		t.Errorf("parallel output differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestConfigsCoverExperiments: each experiment's declared config set
+// must cover every simulation its Run method performs — after a
+// prefetch, rendering must be pure cache hits.
+func TestConfigsCoverExperiments(t *testing.T) {
+	for _, e := range Experiments {
+		if e.Configs == nil {
+			continue
+		}
+		switch e.ID {
+		case "fig6", "fig8", "fig9", "headline":
+			if testing.Short() {
+				continue // many simulations; covered in full runs
+			}
+		}
+		t.Run(e.ID, func(t *testing.T) {
+			s := NewSuite(Options{Scale: 0.02, Seed: 7, Workers: 4})
+			cfgs := e.Configs(s)
+			if len(cfgs) == 0 {
+				t.Fatal("declared no configs")
+			}
+			if err := s.Prefetch(cfgs, nil); err != nil {
+				t.Fatal(err)
+			}
+			warm := s.Simulations()
+			if _, err := e.Run(s); err != nil {
+				t.Fatal(err)
+			}
+			if got := s.Simulations(); got != warm {
+				t.Errorf("rendering ran %d extra simulations not declared by Configs", got-warm)
+			}
+		})
+	}
+}
+
+// TestAblationDefaultPointDedup: the sweep point at the paper's default
+// value must key identically to the no-override config, so `-run all`
+// never re-simulates it.
+func TestAblationDefaultPointDedup(t *testing.T) {
+	s := NewSuite(Options{Scale: 0.05, Seed: 7})
+	plain := s.Config(core.ISAMMX, 8, core.PolicyICOUNT, mem.ModeConventional)
+	if got := s.wbConfig(8).Key(); got != plain.Key() {
+		t.Errorf("WB depth 8 (the default) keys as %s, want the plain config key", got)
+	}
+	if got := s.wbConfig(4).Key(); got == plain.Key() {
+		t.Error("WB depth 4 must not alias the default config")
+	}
+	if got := s.windowConfig(48).Key(); got != plain.Key() {
+		t.Errorf("window 48 (the default) keys as %s, want the plain config key", got)
+	}
+}
+
+// TestSchedulerPanicBecomesError: a panicking simulation (unsupported
+// thread count) must surface as an error on every waiter without
+// leaking the worker slot.
+func TestSchedulerPanicBecomesError(t *testing.T) {
+	s := NewSuite(Options{Scale: 0.05, Seed: 7, Workers: 1})
+	bad := s.Config(core.ISAMMX, 3, core.PolicyRR, mem.ModeIdeal)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.RunConfig(bad); err == nil || !strings.Contains(err.Error(), "panicked") {
+				t.Errorf("panicking simulation returned err=%v, want panic error", err)
+			}
+		}()
+	}
+	wg.Wait()
+	// The single worker slot must still be usable afterwards.
+	if _, err := s.Run(core.ISAMMX, 1, core.PolicyRR, mem.ModeIdeal); err != nil {
+		t.Errorf("scheduler unusable after panic: %v", err)
+	}
+}
+
+// TestRunExperimentsUnknownID: unknown ids fail before any simulation.
+func TestRunExperimentsUnknownID(t *testing.T) {
+	s := NewSuite(Options{Scale: 0.05, Seed: 7})
+	if _, err := s.RunExperiments([]string{"fig4", "nope"}, Progress{}); err == nil {
+		t.Fatal("unknown experiment id must error")
+	}
+	if s.Simulations() != 0 {
+		t.Error("id validation must happen before simulations start")
+	}
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"testing"
+
+	"mediasmt/internal/core"
+	"mediasmt/internal/mem"
+)
+
+func TestConfigKeyCoversAllAxes(t *testing.T) {
+	base := Config{ISA: core.ISAMMX, Threads: 4, Policy: core.PolicyRR, Memory: mem.ModeConventional, Scale: 1, Seed: 1}
+	ccfg := core.ConfigForThreads(core.ISAMMX, 4)
+	ccfg.ROBPerThread = 16
+	mcfg := mem.DefaultConfig(mem.ModeConventional)
+	mcfg.WBDepth = 2
+
+	variants := map[string]func(Config) Config{
+		"isa":     func(c Config) Config { c.ISA = core.ISAMOM; return c },
+		"threads": func(c Config) Config { c.Threads = 8; return c },
+		"policy":  func(c Config) Config { c.Policy = core.PolicyICOUNT; return c },
+		"memory":  func(c Config) Config { c.Memory = mem.ModeDecoupled; return c },
+		"scale":   func(c Config) Config { c.Scale = 0.5; return c },
+		"seed":    func(c Config) Config { c.Seed = 2; return c },
+		"max":     func(c Config) Config { c.MaxCycles = 1000; return c },
+		"core":    func(c Config) Config { c.CoreOverride = &ccfg; return c },
+		"mem":     func(c Config) Config { c.MemOverride = &mcfg; return c },
+		"progs":   func(c Config) Config { c.Programs = []string{"mpeg2dec"}; return c },
+	}
+	for name, mutate := range variants {
+		if got := mutate(base).Key(); got == base.Key() {
+			t.Errorf("changing %s does not change the cache key (%s)", name, got)
+		}
+	}
+}
+
+func TestConfigKeyDistinguishesOverrideValues(t *testing.T) {
+	base := Config{ISA: core.ISAMMX, Threads: 4, Policy: core.PolicyRR, Memory: mem.ModeConventional, Scale: 1, Seed: 1}
+	a, b := mem.DefaultConfig(mem.ModeConventional), mem.DefaultConfig(mem.ModeConventional)
+	b.L1MSHRs = 2
+	ca, cb := base, base
+	ca.MemOverride, cb.MemOverride = &a, &b
+	if ca.Key() == cb.Key() {
+		t.Error("override configs with different values share a key")
+	}
+	a2 := a
+	cc := base
+	cc.MemOverride = &a2
+	if ca.Key() != cc.Key() {
+		t.Error("identical override values (distinct pointers) must share a key")
+	}
+}
+
+func TestConfigKeyProgramListInjective(t *testing.T) {
+	base := Config{ISA: core.ISAMMX, Threads: 1}
+	a, b := base, base
+	a.Programs = []string{"a,b"}
+	b.Programs = []string{"a", "b"}
+	if a.Key() == b.Key() {
+		t.Errorf("program lists %v and %v collide on key %s", a.Programs, b.Programs, a.Key())
+	}
+}
+
+func TestConfigKeyNormalizes(t *testing.T) {
+	zero := Config{ISA: core.ISAMMX, Threads: 1}
+	full := Config{ISA: core.ISAMMX, Threads: 1, Scale: 1, Seed: 12345, MaxCycles: 200_000_000}
+	if zero.Key() != full.Key() {
+		t.Errorf("zero-value defaults must key like explicit defaults:\n%s\n%s", zero.Key(), full.Key())
+	}
+}

@@ -10,6 +10,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"mediasmt/internal/core"
 	"mediasmt/internal/mem"
@@ -35,6 +36,61 @@ type Config struct {
 	Programs []string
 }
 
+// Normalize returns the config with the same defaults Run applies
+// (Scale, MaxCycles, Seed), so that two configs describing the same
+// simulation compare and key identically.
+func (c Config) Normalize() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 200_000_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 12345
+	}
+	return c
+}
+
+// Key returns a canonical cache key covering every field that affects
+// the simulation outcome: ISA, threads, policy and memory mode, but
+// also scale, seed, the cycle cap, core/memory overrides and any
+// program-list override. Configs that normalize identically share a
+// key.
+func (c Config) Key() string {
+	n := c.Normalize()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v/%d/%v/%v/scale=%g/seed=%d/max=%d",
+		n.ISA, n.Threads, n.Policy, n.Memory, n.Scale, n.Seed, n.MaxCycles)
+	for _, p := range n.OverrideStrings() {
+		b.WriteByte('/')
+		b.WriteString(p)
+	}
+	if n.Programs != nil {
+		b.WriteString("/progs=")
+		for i, p := range n.Programs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%q", p)
+		}
+	}
+	return b.String()
+}
+
+// OverrideStrings returns the canonical rendering of any core/memory
+// overrides, shared by Key and structured result emitters.
+func (c Config) OverrideStrings() []string {
+	var parts []string
+	if c.CoreOverride != nil {
+		parts = append(parts, fmt.Sprintf("core={%+v}", *c.CoreOverride))
+	}
+	if c.MemOverride != nil {
+		parts = append(parts, fmt.Sprintf("mem={%+v}", *c.MemOverride))
+	}
+	return parts
+}
+
 // Result summarizes one run.
 type Result struct {
 	Cfg       Config
@@ -57,15 +113,7 @@ func (c *Config) variant() workload.Variant {
 
 // Run executes one multiprogrammed simulation.
 func Run(cfg Config) (*Result, error) {
-	if cfg.Scale <= 0 {
-		cfg.Scale = 1
-	}
-	if cfg.MaxCycles == 0 {
-		cfg.MaxCycles = 200_000_000
-	}
-	if cfg.Seed == 0 {
-		cfg.Seed = 12345
-	}
+	cfg = cfg.Normalize()
 	order := cfg.Programs
 	if order == nil {
 		order = workload.RunOrder
