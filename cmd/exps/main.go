@@ -4,14 +4,25 @@
 //
 //	exps [-run table3,fig4,...|all] [-scale 1.0] [-seed 12345]
 //	     [-j N] [-json|-csv] [-v]
+//	     [-cache-dir DIR] [-no-cache] [-cache-prune] [-fingerprint]
 //
 // Every simulation the requested experiments need is deduplicated and
 // fanned out over -j workers (default GOMAXPROCS) before the artifacts
 // render in order, so table-mode stdout is byte-identical whatever the
-// worker count (-json embeds the worker count and timing, so only its
-// simulation results are invariant). Progress and timing go to stderr;
-// -v adds a line per simulation. -json emits the full structured
-// result set, -csv the per-simulation metrics table.
+// worker count (-json embeds the worker count, timing and cache
+// counters, so only its simulation results are invariant). Progress
+// and timing go to stderr; -v adds a line per simulation. -json emits
+// the full structured result set, -csv the per-simulation metrics
+// table.
+//
+// Results persist across invocations in an on-disk cache (default
+// $XDG_CACHE_HOME/mediasmt, override with -cache-dir, disable with
+// -no-cache), keyed on the canonical config key plus a simulator
+// version fingerprint: a repeated invocation executes zero simulations
+// and renders identical tables from the cache. -cache-prune drops
+// every entry outside the current fingerprint and exits; -fingerprint
+// prints the current fingerprint (CI uses it as its cache key) and
+// exits.
 package main
 
 import (
@@ -21,6 +32,7 @@ import (
 	"runtime"
 	"strings"
 
+	"mediasmt/internal/cache"
 	"mediasmt/internal/exp"
 )
 
@@ -32,7 +44,30 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the structured result set as JSON on stdout")
 	csvOut := flag.Bool("csv", false, "emit per-simulation metrics as CSV on stdout")
 	verbose := flag.Bool("v", false, "log each completed simulation to stderr")
+	cacheDir := flag.String("cache-dir", cache.DefaultDir(), "on-disk result cache directory ('' disables)")
+	noCache := flag.Bool("no-cache", false, "disable the on-disk result cache")
+	cachePrune := flag.Bool("cache-prune", false, "drop all cache entries except the current fingerprint's, then exit")
+	fingerprint := flag.Bool("fingerprint", false, "print the cache fingerprint (cache format + simulator version), then exit")
 	flag.Parse()
+
+	if *fingerprint {
+		fmt.Println(cache.Fingerprint())
+		return
+	}
+	if *cachePrune {
+		if *noCache || *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "exps: cache disabled, nothing to prune")
+			return
+		}
+		n, err := cache.Prune(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "exps: cache prune: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "exps: pruned %d stale cache entries from %s (kept %s)\n",
+			n, *cacheDir, cache.Fingerprint())
+		return
+	}
 
 	if *jsonOut && *csvOut {
 		fmt.Fprintln(os.Stderr, "exps: -json and -csv are mutually exclusive")
@@ -48,7 +83,13 @@ func main() {
 		}
 	}
 
-	suite := exp.NewSuite(exp.Options{Scale: *scale, Seed: *seed, Workers: *workers})
+	store, err := cache.OpenIfEnabled(*cacheDir, *noCache)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "exps: cache disabled: %v\n", err)
+		store = nil
+	}
+
+	suite := exp.NewSuite(exp.Options{Scale: *scale, Seed: *seed, Workers: *workers, Cache: store})
 
 	prog := exp.Progress{
 		Experiment: func(done, total int, res exp.ExperimentResult) {
@@ -71,8 +112,12 @@ func main() {
 			os.Exit(2) // usage error (unknown experiment id), before any simulation
 		}
 	} else {
-		fmt.Fprintf(os.Stderr, "exps: %d experiments, %d simulations, %d workers, %.1fs total\n",
-			len(rs.Experiments), rs.Simulations, rs.Workers, rs.WallSeconds)
+		cacheNote := "cache off"
+		if st, ok := suite.CacheStats(); ok {
+			cacheNote = fmt.Sprintf("cache %d hits / %d misses / %d writes", st.Hits, st.Misses, st.Writes)
+		}
+		fmt.Fprintf(os.Stderr, "exps: %d experiments, %d simulations, %d workers, %s, %.1fs total\n",
+			len(rs.Experiments), rs.Simulations, rs.Workers, cacheNote, rs.WallSeconds)
 	}
 
 	// A partial result set still emits, so completed simulations

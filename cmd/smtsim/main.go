@@ -6,6 +6,12 @@
 //
 //	smtsim [-isa mmx|mom] [-threads N] [-policy rr|ic|oc|bl]
 //	       [-mem ideal|conventional|decoupled] [-scale F] [-seed N]
+//	       [-cache-dir DIR] [-no-cache]
+//
+// Results persist in the same on-disk cache cmd/exps uses (default
+// $XDG_CACHE_HOME/mediasmt): re-running an already-simulated
+// configuration reports from the cache instead of simulating, noted on
+// stderr. -no-cache forces a fresh simulation.
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"mediasmt/internal/cache"
 	"mediasmt/internal/mem"
 	"mediasmt/internal/sim"
 )
@@ -24,6 +31,8 @@ func main() {
 	memFlag := flag.String("mem", "conventional", "memory system: ideal, conventional or decoupled")
 	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = 1/1000 of the paper's run)")
 	seed := flag.Uint64("seed", 12345, "simulation seed")
+	cacheDir := flag.String("cache-dir", cache.DefaultDir(), "on-disk result cache directory ('' disables)")
+	noCache := flag.Bool("no-cache", false, "disable the on-disk result cache")
 	flag.Parse()
 
 	cfg, err := buildConfig(*isaFlag, *policy, *memFlag, *threads, *scale, *seed)
@@ -32,10 +41,30 @@ func main() {
 		os.Exit(2)
 	}
 
-	r, err := sim.Run(cfg)
+	store, err := cache.OpenIfEnabled(*cacheDir, *noCache)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "smtsim: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "smtsim: cache disabled: %v\n", err)
+		store = nil
+	}
+
+	key := cfg.Key()
+	var r *sim.Result
+	var cached bool
+	if store != nil {
+		r, cached = store.Get(key)
+	}
+	if cached {
+		fmt.Fprintf(os.Stderr, "smtsim: result from cache (%s)\n", store.Dir())
+	} else {
+		if r, err = sim.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "smtsim: %v\n", err)
+			os.Exit(1)
+		}
+		if store != nil {
+			if err := store.Put(key, r); err != nil {
+				fmt.Fprintf(os.Stderr, "smtsim: cache write: %v\n", err)
+			}
+		}
 	}
 
 	c, m := r.Core, r.Mem

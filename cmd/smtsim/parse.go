@@ -54,6 +54,11 @@ func buildConfig(isaFlag, policyFlag, memFlag string, threads int, scale float64
 	default:
 		return sim.Config{}, fmt.Errorf("unsupported thread count %d (want 1, 2, 4 or 8)", threads)
 	}
+	// Normalize would silently run scale <= 0 at 1.0 while the report
+	// labels the run with the raw flag value; reject it instead.
+	if scale <= 0 {
+		return sim.Config{}, fmt.Errorf("non-positive scale %g (want > 0)", scale)
+	}
 	cfg := sim.Config{Threads: threads, Scale: scale, Seed: seed}
 	var err error
 	if cfg.ISA, err = parseISA(isaFlag); err != nil {

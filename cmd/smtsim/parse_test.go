@@ -101,4 +101,11 @@ func TestBuildConfig(t *testing.T) {
 			t.Errorf("buildConfig accepted unsupported thread count %d", th)
 		}
 	}
+	// Normalize would silently run these at scale 1.0 while the report
+	// echoed the raw flag; they must be rejected up front.
+	for _, sc := range []float64{0, -5} {
+		if _, err := buildConfig("mmx", "rr", "ideal", 1, sc, 1); err == nil {
+			t.Errorf("buildConfig accepted non-positive scale %g", sc)
+		}
+	}
 }

@@ -12,6 +12,15 @@
 //	go run ./cmd/smtsim -isa mom -threads 8 -policy oc -mem decoupled
 //	go run ./cmd/exps -run all -j 8 -json
 //
+// Simulation results persist across invocations in a content-addressed
+// on-disk cache (internal/cache), keyed on the canonical config key
+// plus a simulator-version fingerprint and defaulting to
+// $XDG_CACHE_HOME/mediasmt: a repeated exps run executes zero
+// simulations while rendering byte-identical tables. Disable with
+// -no-cache, relocate with -cache-dir, drop entries outside the
+// current fingerprint with `exps -cache-prune`; CI restores the same
+// directory keyed on `exps -fingerprint`.
+//
 // See README.md for the package layout, cmd/exps for regenerating
 // every table and figure (deduplicated and fanned out over a worker
 // pool), and examples/ for runnable usage of the public packages.

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"mediasmt/internal/cache"
 	"mediasmt/internal/core"
 	"mediasmt/internal/mem"
 	"mediasmt/internal/sim"
@@ -28,6 +29,13 @@ type Options struct {
 	// GOMAXPROCS. Simulations are deterministic per config, so the
 	// worker count changes wall clock, never results.
 	Workers int
+	// Cache, when non-nil, persists simulation results on disk across
+	// processes: the scheduler reads through it before executing and
+	// writes fresh results behind. Results are keyed on the same
+	// canonical sim.Config.Key() as the in-memory singleflight map, so
+	// a second suite over a warm cache executes zero simulations while
+	// rendering byte-identical artifacts.
+	Cache *cache.Cache
 }
 
 // Suite runs experiments through a concurrent scheduler: simulation
@@ -47,7 +55,11 @@ func NewSuite(opts Options) *Suite {
 	if opts.Seed == 0 {
 		opts.Seed = 12345
 	}
-	return &Suite{opts: opts, sched: newScheduler(opts.Workers)}
+	var store resultStore
+	if opts.Cache != nil {
+		store = opts.Cache
+	}
+	return &Suite{opts: opts, sched: newScheduler(opts.Workers, store)}
 }
 
 // Config builds the full simulation config for the suite's scale and
@@ -89,6 +101,24 @@ func (s *Suite) Prefetch(cfgs []sim.Config, onDone func(done, total int, key str
 // Simulations reports how many simulations the suite executed
 // successfully (cache hits and failed runs excluded).
 func (s *Suite) Simulations() int64 { return s.sched.simulations() }
+
+// Flush blocks until every write-behind persistence of a finished
+// simulation has settled on disk. Call it only after all
+// RunConfig/Prefetch calls have returned — a simulation still in
+// flight may register its write after the wait began and miss it.
+// RunExperiments flushes before returning; direct RunConfig/Prefetch
+// users with a cache attached should Flush before exiting, or late
+// results may miss the cache.
+func (s *Suite) Flush() { s.sched.flush() }
+
+// CacheStats snapshots the persistent cache's hit/miss/write counters;
+// ok is false when the suite runs uncached.
+func (s *Suite) CacheStats() (st cache.Stats, ok bool) {
+	if s.opts.Cache == nil {
+		return cache.Stats{}, false
+	}
+	return s.opts.Cache.Stats(), true
+}
 
 // Workers reports the concurrency bound the suite schedules under.
 func (s *Suite) Workers() int { return s.sched.workers() }

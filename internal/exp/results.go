@@ -49,10 +49,16 @@ type SimRecord struct {
 // ResultSet is the structured output of a suite run: every rendered
 // experiment plus the per-simulation metrics behind them.
 type ResultSet struct {
-	Scale       float64            `json:"scale"`
-	Seed        uint64             `json:"seed"`
-	Workers     int                `json:"workers"`
-	Simulations int64              `json:"simulations"`
+	Scale       float64 `json:"scale"`
+	Seed        uint64  `json:"seed"`
+	Workers     int     `json:"workers"`
+	Simulations int64   `json:"simulations"`
+	// CacheHits/CacheMisses/CacheWrites report the persistent result
+	// cache's activity; all zero when the suite ran uncached. Always
+	// emitted (no omitempty) so JSON consumers can rely on the keys.
+	CacheHits   int64              `json:"cache_hits"`
+	CacheMisses int64              `json:"cache_misses"`
+	CacheWrites int64              `json:"cache_writes"`
 	WallSeconds float64            `json:"wall_seconds"`
 	Experiments []ExperimentResult `json:"experiments"`
 	Sims        []SimRecord        `json:"sims"`
@@ -165,7 +171,13 @@ func (s *Suite) RunExperiments(ids []string, prog Progress) (*ResultSet, error) 
 	rs := &ResultSet{Scale: s.opts.Scale, Seed: s.opts.Seed, Workers: s.Workers()}
 	start := time.Now()
 	finish := func() {
+		// Join the write-behind cache Puts so completed results are
+		// durable by the time the run reports itself finished.
+		s.Flush()
 		rs.Simulations = s.Simulations()
+		if st, ok := s.CacheStats(); ok {
+			rs.CacheHits, rs.CacheMisses, rs.CacheWrites = st.Hits, st.Misses, st.Writes
+		}
 		rs.Sims = s.SimRecords()
 		rs.WallSeconds = time.Since(start).Seconds()
 	}

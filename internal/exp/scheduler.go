@@ -9,18 +9,31 @@ import (
 	"mediasmt/internal/sim"
 )
 
+// resultStore is the persistence seam the scheduler layers under its
+// in-memory singleflight map: internal/cache.Cache satisfies it. Get
+// must treat any unusable entry as a miss; Put errors are advisory.
+type resultStore interface {
+	Get(key string) (*sim.Result, bool)
+	Put(key string, r *sim.Result) error
+}
+
 // scheduler executes simulations at most once per canonical config key
 // (singleflight) through a bounded worker pool. It is safe for
 // concurrent use: experiments rendered in parallel, or a Prefetch
 // racing lazy Run calls, all collapse onto the same in-flight
-// simulation.
+// simulation. With a store attached, run() reads through it (memory →
+// disk → execute) and writes freshly executed results behind the
+// waiters' backs, so in-process dedup and cross-process persistence
+// compose.
 type scheduler struct {
-	sem chan struct{} // bounds concurrently executing simulations
+	sem   chan struct{} // bounds concurrently executing simulations
+	store resultStore   // optional persistent layer; nil disables it
 
 	mu      sync.Mutex
 	entries map[string]*schedEntry
 
-	sims atomic.Int64 // simulations actually executed (not cache hits)
+	sims    atomic.Int64   // simulations actually executed (not cache hits)
+	pending sync.WaitGroup // in-flight write-behind store Puts
 }
 
 // schedEntry is one singleflight slot. done is closed once res/err are
@@ -31,12 +44,13 @@ type schedEntry struct {
 	err  error
 }
 
-func newScheduler(workers int) *scheduler {
+func newScheduler(workers int, store resultStore) *scheduler {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &scheduler{
 		sem:     make(chan struct{}, workers),
+		store:   store,
 		entries: make(map[string]*schedEntry),
 	}
 }
@@ -65,20 +79,44 @@ func (s *scheduler) run(cfg sim.Config) (*sim.Result, error) {
 	// leaking the worker slot.
 	func() {
 		defer close(e.done)
-		s.sem <- struct{}{}
-		defer func() { <-s.sem }()
 		defer func() {
 			if p := recover(); p != nil {
 				e.err = fmt.Errorf("simulation panicked: %v", p)
 			}
 		}()
+		// Read through the persistent layer before claiming a worker
+		// slot: a disk hit costs no simulation and should not queue
+		// behind ones that do.
+		if s.store != nil {
+			if r, ok := s.store.Get(key); ok {
+				e.res = r
+				return
+			}
+		}
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
 		e.res, e.err = sim.Run(cfg)
 		if e.err == nil {
 			s.sims.Add(1)
+			if s.store != nil {
+				// Write behind: waiters unblock on done while the
+				// entry persists concurrently. flush() joins these
+				// before the process reports completion.
+				s.pending.Add(1)
+				res := e.res
+				go func() {
+					defer s.pending.Done()
+					_ = s.store.Put(key, res) // a failed write only costs a future hit
+				}()
+			}
 		}
 	}()
 	return e.res, e.err
 }
+
+// flush blocks until every write-behind store Put has settled. It does
+// not prevent new Puts; callers quiesce run() traffic first.
+func (s *scheduler) flush() { s.pending.Wait() }
 
 // prefetch warms the cache for cfgs concurrently, bounded by the
 // worker pool. Duplicate keys are dropped up front so no worker idles

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Version fingerprints the simulator's result semantics. Any change
+// that alters what a simulation produces for a given Config — pipeline
+// behaviour, memory timing, workload generation, the Result layout
+// itself — must bump this, so persisted results from older binaries
+// are never mistaken for current ones. The on-disk cache folds it into
+// its entry fingerprint (see internal/cache.Fingerprint).
+const Version = "mediasmt-sim-v1"
+
+// EncodeResult renders r as stable JSON: encoding/json emits struct
+// fields in declaration order, so the same Result always serializes to
+// the same bytes. The encoding round-trips through DecodeResult,
+// including core/memory overrides and program-list overrides.
+func EncodeResult(r *Result) ([]byte, error) {
+	if r == nil {
+		return nil, fmt.Errorf("sim: cannot encode nil result")
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("sim: encode result: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeResult parses bytes produced by EncodeResult. Unknown fields
+// are rejected so that a Result written under a struct layout this
+// binary does not know about fails loudly (callers such as the on-disk
+// cache treat any decode error as a miss).
+func DecodeResult(data []byte) (*Result, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r Result
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("sim: decode result: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("sim: decode result: trailing data")
+	}
+	// A JSON `null` (or an empty object) decodes without error into a
+	// zero Result; every real result has a normalized config, so a
+	// threadless one is corruption.
+	if r.Cfg.Threads < 1 {
+		return nil, fmt.Errorf("sim: decode result: not a simulation result")
+	}
+	return &r, nil
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mediasmt/internal/core"
+	"mediasmt/internal/mem"
+)
+
+// TestEncodeResultRoundTrip: a real simulation result — including
+// core/memory overrides and a program-list override, the fields most
+// likely to be dropped by a careless serializer — must survive the
+// encode/decode cycle bit-exactly.
+func TestEncodeResultRoundTrip(t *testing.T) {
+	ccfg := core.ConfigForThreads(core.ISAMMX, 2)
+	ccfg.ROBPerThread = 32
+	mcfg := mem.DefaultConfig(mem.ModeConventional)
+	mcfg.WBDepth = 4
+	cfg := Config{
+		ISA: core.ISAMMX, Threads: 2, Policy: core.PolicyICOUNT,
+		Memory: mem.ModeConventional, Scale: 0.02, Seed: 7,
+		CoreOverride: &ccfg, MemOverride: &mcfg,
+		Programs: []string{"mpeg2dec", "mpeg2enc"},
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := EncodeResult(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Errorf("round trip mutated the result:\nbefore %+v\nafter  %+v", r, got)
+	}
+	if got.Cfg.Key() != cfg.Key() {
+		t.Errorf("round-tripped config keys as %q, want %q", got.Cfg.Key(), cfg.Key())
+	}
+}
+
+// TestEncodeResultStable: encoding the same result twice must produce
+// identical bytes — the on-disk cache depends on a deterministic
+// serialization.
+func TestEncodeResultStable(t *testing.T) {
+	r, err := Run(Config{ISA: core.ISAMOM, Threads: 1, Memory: mem.ModeIdeal, Scale: 0.02, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := EncodeResult(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeResult(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two encodings of one result differ")
+	}
+}
+
+// TestDecodeResultRejectsGarbage: decode failures must be errors, not
+// zero-valued results.
+func TestDecodeResultRejectsGarbage(t *testing.T) {
+	for _, data := range []string{"", "{", "{}", "null", `null {"trailing":1}`, `{"unknown_field":1}`, `[1,2,3]`} {
+		if _, err := DecodeResult([]byte(data)); err == nil {
+			t.Errorf("DecodeResult(%q) succeeded, want error", data)
+		}
+	}
+}
+
+// TestEncodeResultNil: encoding nil is an error, not a panic.
+func TestEncodeResultNil(t *testing.T) {
+	if _, err := EncodeResult(nil); err == nil {
+		t.Error("EncodeResult(nil) succeeded, want error")
+	}
+}
