@@ -3,7 +3,7 @@
 // Usage:
 //
 //	exps [-run table3,fig4,...|all] [-scale 1.0] [-seed 12345]
-//	     [-j N] [-json|-csv] [-v]
+//	     [-j N] [-max-cycles N] [-json|-csv] [-v]
 //	     [-cache-dir DIR] [-no-cache] [-cache-prune] [-fingerprint]
 //
 // Every simulation the requested experiments need is deduplicated and
@@ -14,6 +14,15 @@
 // and timing go to stderr; -v adds a line per simulation. -json emits
 // the full structured result set, -csv the per-simulation metrics
 // table.
+//
+// Experiments are isolated failure domains: every simulation is
+// attempted even when others fail, each failure marks only the
+// experiments referencing it, and every unaffected experiment still
+// renders — byte-identical to a fully green run — with an explicit
+// "== <id> — FAILED:" block per failed experiment so omission can
+// never read as success. Exit codes: 0 all green, 1 total failure,
+// 2 usage error, 3 partial failure (some tables rendered, some
+// failed).
 //
 // Results persist across invocations in an on-disk cache (default
 // $XDG_CACHE_HOME/mediasmt, override with -cache-dir, disable with
@@ -40,7 +49,8 @@ func main() {
 	runList := flag.String("run", "all", "comma-separated experiment ids or 'all' ("+strings.Join(exp.IDs(), ", ")+")")
 	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = 1/1000 of the paper's instruction counts)")
 	seed := flag.Uint64("seed", 12345, "simulation seed")
-	workers := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrently running simulations")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrently running simulations (0 = GOMAXPROCS)")
+	maxCycles := flag.Int64("max-cycles", 0, "per-simulation cycle cap; 0 = simulator default (200M). A capped-out simulation fails its experiments")
 	jsonOut := flag.Bool("json", false, "emit the structured result set as JSON on stdout")
 	csvOut := flag.Bool("csv", false, "emit per-simulation metrics as CSV on stdout")
 	verbose := flag.Bool("v", false, "log each completed simulation to stderr")
@@ -73,6 +83,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "exps: -json and -csv are mutually exclusive")
 		os.Exit(2)
 	}
+	if err := validateFlags(*scale, *seed, *workers, *maxCycles); err != nil {
+		fmt.Fprintf(os.Stderr, "exps: %v\n", err)
+		os.Exit(2)
+	}
 
 	var ids []string
 	if *runList == "all" {
@@ -89,18 +103,33 @@ func main() {
 		store = nil
 	}
 
-	suite := exp.NewSuite(exp.Options{Scale: *scale, Seed: *seed, Workers: *workers, Cache: store})
+	suite := exp.NewSuite(exp.Options{Scale: *scale, Seed: *seed, Workers: *workers, MaxCycles: *maxCycles, Cache: store})
 
 	prog := exp.Progress{
 		Experiment: func(done, total int, res exp.ExperimentResult) {
 			fmt.Fprintf(os.Stderr, "exps: [%d/%d] %s (%.1fs)\n", done, total, res.ID, res.Seconds)
-			if !*jsonOut && !*csvOut && res.Err == "" {
-				fmt.Printf("== %s — %s\n\n%s\n", res.ID, res.Title, res.Output)
+			if *jsonOut || *csvOut {
+				return
 			}
+			if res.Status == exp.StatusOK {
+				fmt.Printf("== %s — %s\n\n%s\n", res.ID, res.Title, res.Output)
+				return
+			}
+			// An explicit failure block: a diff against a green run must
+			// never mistake a silently omitted table for a rendered one.
+			fmt.Printf("== %s — FAILED: %s\n", res.ID, res.Err)
+			for _, ce := range res.ConfigErrors {
+				fmt.Printf("   %s: %s\n", ce.Key, ce.Err)
+			}
+			fmt.Println()
 		},
 	}
 	if *verbose {
-		prog.Sim = func(done, total int, key string) {
+		prog.Sim = func(done, total int, key string, err error) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "exps: sim %d/%d %s FAILED: %v\n", done, total, key, err)
+				return
+			}
 			fmt.Fprintf(os.Stderr, "exps: sim %d/%d %s\n", done, total, key)
 		}
 	}
@@ -108,16 +137,14 @@ func main() {
 	rs, err := suite.RunExperiments(ids, prog)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "exps: %v\n", err)
-		if rs == nil {
-			os.Exit(2) // usage error (unknown experiment id), before any simulation
-		}
-	} else {
+	}
+	if rs != nil {
 		cacheNote := "cache off"
 		if st, ok := suite.CacheStats(); ok {
 			cacheNote = fmt.Sprintf("cache %d hits / %d misses / %d writes", st.Hits, st.Misses, st.Writes)
 		}
-		fmt.Fprintf(os.Stderr, "exps: %d experiments, %d simulations, %d workers, %s, %.1fs total\n",
-			len(rs.Experiments), rs.Simulations, rs.Workers, cacheNote, rs.WallSeconds)
+		fmt.Fprintf(os.Stderr, "exps: %d experiments (%d failed), %d simulations (%d failed configs), %d workers, %s, %.1fs total\n",
+			len(rs.Experiments), rs.Failed, rs.Simulations, rs.FailedSims, rs.Workers, cacheNote, rs.WallSeconds)
 	}
 
 	// A partial result set still emits, so completed simulations
@@ -135,7 +162,5 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if err != nil {
-		os.Exit(1)
-	}
+	os.Exit(exitCode(err, rs))
 }

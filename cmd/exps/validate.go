@@ -1,0 +1,53 @@
+package main
+
+import (
+	"fmt"
+
+	"mediasmt/internal/exp"
+)
+
+// validateFlags rejects flag values that NewSuite / sim.Normalize would
+// otherwise silently coerce to their defaults (scale <= 0 runs at 1.0,
+// seed 0 runs as 12345): a run must either do what the flags say or
+// refuse, never mislabel itself. Matches smtsim's rejection of
+// non-positive -scale.
+func validateFlags(scale float64, seed uint64, workers int, maxCycles int64) error {
+	if scale <= 0 {
+		return fmt.Errorf("non-positive -scale %g (want > 0)", scale)
+	}
+	if seed == 0 {
+		return fmt.Errorf("-seed 0 would silently run the default seed 12345; pass a positive seed")
+	}
+	if workers < 0 {
+		return fmt.Errorf("negative -j %d (want > 0, or 0 for GOMAXPROCS)", workers)
+	}
+	if maxCycles < 0 {
+		return fmt.Errorf("negative -max-cycles %d (want > 0, or 0 for the simulator default)", maxCycles)
+	}
+	return nil
+}
+
+// exitCode maps a finished run onto the process exit code:
+//
+//	0 — every experiment rendered
+//	1 — total failure: no experiment rendered (or the result set could
+//	    not be produced at all)
+//	3 — partial failure: some experiments rendered, some failed; their
+//	    tables are on stdout, byte-identical to a fully green run
+//
+// 2 is reserved for usage errors (bad flags, unknown experiment ids)
+// detected before any simulation.
+func exitCode(err error, rs *exp.ResultSet) int {
+	if err == nil {
+		return 0
+	}
+	if rs == nil {
+		return 2
+	}
+	for _, e := range rs.Experiments {
+		if e.Status == exp.StatusOK {
+			return 3
+		}
+	}
+	return 1
+}

@@ -21,6 +21,13 @@
 // current fingerprint with `exps -cache-prune`; CI restores the same
 // directory keyed on `exps -fingerprint`.
 //
+// Experiments are isolated failure domains: one failing simulation
+// fails only the experiments referencing it, every unaffected table
+// still renders byte-identical to a green run (failed ones get an
+// explicit FAILED block; -json carries per-config error lists), and
+// exps exits 0 on success, 1 on total failure, 2 on usage errors and
+// 3 on partial failure.
+//
 // See README.md for the package layout, cmd/exps for regenerating
 // every table and figure (deduplicated and fanned out over a worker
 // pool), and examples/ for runnable usage of the public packages.

@@ -87,7 +87,7 @@ func TestWarmCachePrefetch(t *testing.T) {
 
 	s2 := cachedSuite(t, dir, 4)
 	var progressed int
-	if err := s2.Prefetch(cfgs, func(done, total int, key string) { progressed++ }); err != nil {
+	if err := s2.Prefetch(cfgs, func(done, total int, key string, err error) { progressed++ }); err != nil {
 		t.Fatal(err)
 	}
 	if got := s2.Simulations(); got != 0 {

@@ -29,6 +29,12 @@ type Options struct {
 	// GOMAXPROCS. Simulations are deterministic per config, so the
 	// worker count changes wall clock, never results.
 	Workers int
+	// MaxCycles caps every simulation the suite builds; 0 keeps the
+	// simulator's default safety stop (200M cycles). A capped-out
+	// simulation fails with an error, failing exactly the experiments
+	// that reference it — the CLI and CI use a tiny cap to exercise the
+	// partial-failure path on demand.
+	MaxCycles int64
 	// Cache, when non-nil, persists simulation results on disk across
 	// processes: the scheduler reads through it before executing and
 	// writes fresh results behind. Results are keyed on the same
@@ -47,7 +53,12 @@ type Suite struct {
 	sched *scheduler
 }
 
-// NewSuite builds a suite.
+// NewSuite builds a suite. Zero-valued options mean "use the default"
+// (Scale 1.0, Seed 12345, Workers GOMAXPROCS, MaxCycles 200M), the
+// same contract as sim.Config.Normalize. Front-ends that take these
+// values from user input (cmd/exps, the planned HTTP service) must
+// validate before building Options: an explicit out-of-range value
+// should be refused there, not silently coerced here.
 func NewSuite(opts Options) *Suite {
 	if opts.Scale <= 0 {
 		opts.Scale = 1
@@ -67,12 +78,13 @@ func NewSuite(opts Options) *Suite {
 // fetch results while rendering.
 func (s *Suite) Config(isa core.ISAKind, threads int, pol core.Policy, mode mem.Mode) sim.Config {
 	return sim.Config{
-		ISA:     isa,
-		Threads: threads,
-		Policy:  pol,
-		Memory:  mode,
-		Scale:   s.opts.Scale,
-		Seed:    s.opts.Seed,
+		ISA:       isa,
+		Threads:   threads,
+		Policy:    pol,
+		Memory:    mode,
+		Scale:     s.opts.Scale,
+		Seed:      s.opts.Seed,
+		MaxCycles: s.opts.MaxCycles,
 	}
 }
 
@@ -93,9 +105,13 @@ func (s *Suite) Run(isa core.ISAKind, threads int, pol core.Policy, mode mem.Mod
 
 // Prefetch warms the result cache for cfgs using the suite's worker
 // pool; duplicate keys are dropped up front, so onDone, if non-nil,
-// observes progress over unique, successfully-resolved configs only.
-func (s *Suite) Prefetch(cfgs []sim.Config, onDone func(done, total int, key string)) error {
-	return s.sched.prefetch(cfgs, onDone)
+// observes progress over unique configs. Every config is attempted —
+// one failure never skips the rest — and onDone fires for failures too
+// (with the error), so progress always reaches total. The returned
+// error is nil when everything resolved, otherwise an errors.Join
+// naming every failed key in sorted order.
+func (s *Suite) Prefetch(cfgs []sim.Config, onDone func(done, total int, key string, err error)) error {
+	return joinKeyErrors(s.sched.prefetch(cfgs, onDone))
 }
 
 // Simulations reports how many simulations the suite executed

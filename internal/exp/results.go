@@ -3,6 +3,7 @@ package exp
 import (
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -13,13 +14,51 @@ import (
 	"mediasmt/internal/sim"
 )
 
-// ExperimentResult is one rendered artifact plus its bookkeeping.
+// Experiment statuses. Every ExperimentResult carries exactly one.
+const (
+	StatusOK     = "ok"     // rendered; Output is the artifact
+	StatusFailed = "failed" // Err set; ConfigErrors lists failed simulations
+)
+
+// ConfigError records one failed simulation config by canonical key.
+type ConfigError struct {
+	Key string `json:"key"`
+	Err string `json:"error"`
+}
+
+// ExperimentResult is one rendered artifact plus its bookkeeping. Each
+// experiment is its own failure domain: Status reports whether it
+// rendered, and ConfigErrors lists exactly the simulations (of the
+// ones it declared) that failed — empty when the failure was in
+// rendering itself.
 type ExperimentResult struct {
 	ID      string  `json:"id"`
 	Title   string  `json:"title"`
+	Status  string  `json:"status"`
 	Output  string  `json:"output"`
 	Seconds float64 `json:"seconds"`
 	Err     string  `json:"error,omitempty"`
+	// ConfigErrors lists the experiment's failed simulation configs,
+	// sorted by key.
+	ConfigErrors []ConfigError `json:"config_errors,omitempty"`
+}
+
+// joinKeyErrors flattens a per-key error map into one errors.Join,
+// naming every failed key in sorted (deterministic) order.
+func joinKeyErrors(errs map[string]error) error {
+	if len(errs) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(errs))
+	for k := range errs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	joined := make([]error, len(keys))
+	for i, k := range keys {
+		joined[i] = fmt.Errorf("%s: %w", k, errs[k])
+	}
+	return errors.Join(joined...)
 }
 
 // SimRecord is the flattened, emit-friendly summary of one simulation.
@@ -56,9 +95,14 @@ type ResultSet struct {
 	// CacheHits/CacheMisses/CacheWrites report the persistent result
 	// cache's activity; all zero when the suite ran uncached. Always
 	// emitted (no omitempty) so JSON consumers can rely on the keys.
-	CacheHits   int64              `json:"cache_hits"`
-	CacheMisses int64              `json:"cache_misses"`
-	CacheWrites int64              `json:"cache_writes"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CacheWrites int64 `json:"cache_writes"`
+	// Failed counts experiments whose Status is "failed"; FailedSims
+	// counts unique simulation configs that errored. Both zero on a
+	// fully green run (no omitempty, so consumers can rely on the keys).
+	Failed      int                `json:"failed"`
+	FailedSims  int                `json:"failed_sims"`
 	WallSeconds float64            `json:"wall_seconds"`
 	Experiments []ExperimentResult `json:"experiments"`
 	Sims        []SimRecord        `json:"sims"`
@@ -146,18 +190,19 @@ func (s *Suite) SimRecords() []SimRecord {
 }
 
 // Progress carries optional observers for a RunExperiments call.
-// Sim fires after each prefetched simulation settles; Experiment fires
-// after each artifact renders. Both may be nil.
+// Sim fires after each prefetched simulation settles, success or
+// failure (err carries the failure); Experiment fires after each
+// artifact renders or is marked failed. Both may be nil.
 type Progress struct {
-	Sim        func(done, total int, key string)
+	Sim        func(done, total int, key string, err error)
 	Experiment func(done, total int, res ExperimentResult)
 }
 
 // RunExperiments resolves ids, fans every declared simulation out over
 // the suite's worker pool, then renders each experiment in order from
 // the warm cache. Rendering order — and therefore output — is
-// independent of the worker count. On a simulation or rendering error
-// the partial result set is returned alongside the error.
+// independent of the worker count. Unknown ids fail up front, before
+// any simulation, with a nil result set.
 func (s *Suite) RunExperiments(ids []string, prog Progress) (*ResultSet, error) {
 	exps := make([]Experiment, 0, len(ids))
 	for _, id := range ids {
@@ -167,7 +212,19 @@ func (s *Suite) RunExperiments(ids []string, prog Progress) (*ResultSet, error) 
 		}
 		exps = append(exps, e)
 	}
+	return s.RunExperimentList(exps, prog)
+}
 
+// RunExperimentList is RunExperiments over already-resolved
+// experiments, for callers composing custom artifact lists (tests, the
+// planned HTTP front-end). Each experiment is an isolated failure
+// domain: every declared simulation is attempted, prefetch errors are
+// partitioned onto exactly the experiments whose Configs reference the
+// failed key, and every unaffected experiment renders in order, byte-
+// identical to a fully green run. On any failure the full partial
+// result set is returned alongside an errors.Join of one error per
+// failed experiment, each naming its failed keys.
+func (s *Suite) RunExperimentList(exps []Experiment, prog Progress) (*ResultSet, error) {
 	rs := &ResultSet{Scale: s.opts.Scale, Seed: s.opts.Seed, Workers: s.Workers()}
 	start := time.Now()
 	finish := func() {
@@ -184,33 +241,67 @@ func (s *Suite) RunExperiments(ids []string, prog Progress) (*ResultSet, error) 
 
 	// Prefetch dedups by canonical key, so cross-experiment overlap
 	// costs nothing and progress done/total counts unique simulations.
+	declared := make([][]sim.Config, len(exps))
 	var cfgs []sim.Config
-	for _, e := range exps {
+	for i, e := range exps {
 		if e.Configs != nil {
-			cfgs = append(cfgs, e.Configs(s)...)
+			declared[i] = e.Configs(s)
+			cfgs = append(cfgs, declared[i]...)
 		}
 	}
-	if err := s.Prefetch(cfgs, prog.Sim); err != nil {
-		finish()
-		return rs, fmt.Errorf("exp: prefetch: %w", err)
-	}
+	prefErrs := s.sched.prefetch(cfgs, prog.Sim)
+	rs.FailedSims = len(prefErrs)
 
+	var errs []error
 	for i, e := range exps {
 		t0 := time.Now()
-		out, err := e.Run(s)
-		res := ExperimentResult{ID: e.ID, Title: e.Title, Output: out, Seconds: time.Since(t0).Seconds()}
-		if err != nil {
+		res := ExperimentResult{ID: e.ID, Title: e.Title, Status: StatusOK}
+		// Partition prefetch failures onto this experiment: collect the
+		// failed keys among the configs it declared (deduplicated — the
+		// declaration may repeat keys that normalize identically).
+		uniqueDeclared := 0
+		if len(prefErrs) > 0 && len(declared[i]) > 0 {
+			seen := make(map[string]bool, len(declared[i]))
+			for _, cfg := range declared[i] {
+				k := cfg.Key()
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				if err, ok := prefErrs[k]; ok {
+					res.ConfigErrors = append(res.ConfigErrors, ConfigError{Key: k, Err: err.Error()})
+				}
+			}
+			uniqueDeclared = len(seen)
+		}
+		if len(res.ConfigErrors) > 0 {
+			// Skip rendering: it would re-request the failed configs
+			// (re-executing them, since errors are not cached) only to
+			// fail again. The per-config errors are the diagnosis.
+			sort.Slice(res.ConfigErrors, func(a, b int) bool { return res.ConfigErrors[a].Key < res.ConfigErrors[b].Key })
+			res.Status = StatusFailed
+			res.Err = fmt.Sprintf("%d of %d configs failed", len(res.ConfigErrors), uniqueDeclared)
+			sub := make(map[string]error, len(res.ConfigErrors))
+			for _, ce := range res.ConfigErrors {
+				sub[ce.Key] = prefErrs[ce.Key]
+			}
+			errs = append(errs, fmt.Errorf("exp: %s: %w", e.ID, joinKeyErrors(sub)))
+		} else if out, err := e.Run(s); err != nil {
+			res.Status = StatusFailed
 			res.Err = err.Error()
+			errs = append(errs, fmt.Errorf("exp: %s: %w", e.ID, err))
+		} else {
+			res.Output = out
+		}
+		res.Seconds = time.Since(t0).Seconds()
+		if res.Status == StatusFailed {
+			rs.Failed++
 		}
 		rs.Experiments = append(rs.Experiments, res)
 		if prog.Experiment != nil {
 			prog.Experiment(i+1, len(exps), res)
 		}
-		if err != nil {
-			finish()
-			return rs, fmt.Errorf("exp: %s: %w", e.ID, err)
-		}
 	}
 	finish()
-	return rs, nil
+	return rs, errors.Join(errs...)
 }

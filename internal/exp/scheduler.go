@@ -28,6 +28,7 @@ type resultStore interface {
 type scheduler struct {
 	sem   chan struct{} // bounds concurrently executing simulations
 	store resultStore   // optional persistent layer; nil disables it
+	exec  func(sim.Config) (*sim.Result, error)
 
 	mu      sync.Mutex
 	entries map[string]*schedEntry
@@ -51,6 +52,7 @@ func newScheduler(workers int, store resultStore) *scheduler {
 	return &scheduler{
 		sem:     make(chan struct{}, workers),
 		store:   store,
+		exec:    sim.Run, // seam: tests model transient failures here
 		entries: make(map[string]*schedEntry),
 	}
 }
@@ -60,7 +62,11 @@ func (s *scheduler) workers() int { return cap(s.sem) }
 
 // run returns the cached result for cfg, executing the simulation if
 // this is the first caller for its key. Concurrent callers with the
-// same key share one execution and one result.
+// same key share one execution and one result. Only successes stay
+// cached: a failed (or panicked) entry is evicted before its waiters
+// wake, so the error reaches everyone already joined on it while the
+// next call for the same key retries fresh instead of replaying a
+// poisoned entry — transient failures heal in-process.
 func (s *scheduler) run(cfg sim.Config) (*sim.Result, error) {
 	key := cfg.Key()
 	s.mu.Lock()
@@ -78,11 +84,18 @@ func (s *scheduler) run(cfg sim.Config) (*sim.Result, error) {
 	// as this entry's error instead of deadlocking waiters on done and
 	// leaking the worker slot.
 	func() {
-		defer close(e.done)
 		defer func() {
 			if p := recover(); p != nil {
 				e.err = fmt.Errorf("simulation panicked: %v", p)
 			}
+			if e.err != nil {
+				s.mu.Lock()
+				if s.entries[key] == e {
+					delete(s.entries, key)
+				}
+				s.mu.Unlock()
+			}
+			close(e.done)
 		}()
 		// Read through the persistent layer before claiming a worker
 		// slot: a disk hit costs no simulation and should not queue
@@ -95,7 +108,7 @@ func (s *scheduler) run(cfg sim.Config) (*sim.Result, error) {
 		}
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
-		e.res, e.err = sim.Run(cfg)
+		e.res, e.err = s.exec(cfg)
 		if e.err == nil {
 			s.sims.Add(1)
 			if s.store != nil {
@@ -121,13 +134,15 @@ func (s *scheduler) flush() { s.pending.Wait() }
 // prefetch warms the cache for cfgs concurrently, bounded by the
 // worker pool. Duplicate keys are dropped up front so no worker idles
 // on an in-flight duplicate and progress counts unique simulations.
-// onDone, if non-nil, is called after each unique config resolves
-// successfully (cache hits included) with the number completed so
-// far; calls are serialized. The first simulation error is returned;
-// configs not yet dispatched when it occurs are skipped, and neither
-// failed nor skipped configs fire onDone — on error, progress simply
-// stops short of total.
-func (s *scheduler) prefetch(cfgs []sim.Config, onDone func(done, total int, key string)) error {
+// Every unique config is simulated regardless of other configs'
+// failures — configs are isolated failure domains, so one bad
+// simulation never suppresses the rest of the set. onDone, if non-nil,
+// is called after each unique config settles (cache hits and failures
+// included) with the number settled so far and that config's error;
+// calls are serialized and progress always reaches total. The returned
+// map carries one entry per failed canonical key; it is nil when every
+// config resolved.
+func (s *scheduler) prefetch(cfgs []sim.Config, onDone func(done, total int, key string, err error)) map[string]error {
 	seen := make(map[string]bool, len(cfgs))
 	unique := cfgs[:0:0]
 	for _, cfg := range cfgs {
@@ -137,17 +152,15 @@ func (s *scheduler) prefetch(cfgs []sim.Config, onDone func(done, total int, key
 		}
 	}
 	cfgs = unique
+	if len(cfgs) == 0 {
+		return nil
+	}
 	var (
 		wg       sync.WaitGroup
 		progMu   sync.Mutex
 		finished int
-		errOnce  sync.Once
-		firstErr error
-		failed   atomic.Bool
+		errs     map[string]error
 	)
-	if len(cfgs) == 0 {
-		return nil
-	}
 	workers := s.workers()
 	if workers > len(cfgs) {
 		workers = len(cfgs)
@@ -158,21 +171,19 @@ func (s *scheduler) prefetch(cfgs []sim.Config, onDone func(done, total int, key
 		go func() {
 			defer wg.Done()
 			for cfg := range feed {
-				if failed.Load() {
-					continue // fail fast: drain without simulating
-				}
 				_, err := s.run(cfg)
+				progMu.Lock()
+				finished++
 				if err != nil {
-					failed.Store(true)
-					errOnce.Do(func() { firstErr = fmt.Errorf("%s: %w", cfg.Key(), err) })
-					continue
+					if errs == nil {
+						errs = make(map[string]error)
+					}
+					errs[cfg.Key()] = err
 				}
 				if onDone != nil {
-					progMu.Lock()
-					finished++
-					onDone(finished, len(cfgs), cfg.Key())
-					progMu.Unlock()
+					onDone(finished, len(cfgs), cfg.Key(), err)
 				}
+				progMu.Unlock()
 			}
 		}()
 	}
@@ -181,7 +192,7 @@ func (s *scheduler) prefetch(cfgs []sim.Config, onDone func(done, total int, key
 	}
 	close(feed)
 	wg.Wait()
-	return firstErr
+	return errs
 }
 
 // simulations reports how many simulations executed successfully
@@ -206,7 +217,8 @@ func (s *scheduler) completed() map[string]*sim.Result {
 	return out
 }
 
-// keys returns the canonical keys of every entry ever scheduled.
+// keys returns the canonical keys of every in-flight or successfully
+// settled entry (failed entries are evicted to stay retryable).
 func (s *scheduler) keys() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -50,7 +50,7 @@ func TestPrefetchDedupAcrossExperiments(t *testing.T) {
 	}
 	// Prefetch dedups up front: progress counts unique configs only.
 	var calls int
-	if err := s.Prefetch(cfgs, func(done, total int, key string) {
+	if err := s.Prefetch(cfgs, func(done, total int, key string, err error) {
 		calls++
 		if total != 16 {
 			t.Errorf("progress total = %d, want 16 unique configs", total)
