@@ -35,11 +35,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"mediasmt/internal/cache"
 	"mediasmt/internal/exp"
@@ -134,7 +137,20 @@ func main() {
 		}
 	}
 
-	rs, err := suite.RunExperiments(ids, prog)
+	// An interrupt cancels simulations not yet started; everything
+	// already finished still renders, persists and emits below, so a
+	// Ctrl-C'd run degrades to a partial one instead of losing work.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		// After the first signal cancels ctx, deregister the handler so
+		// a second Ctrl-C force-quits instead of being swallowed while
+		// non-interruptible simulations drain.
+		<-ctx.Done()
+		stop()
+	}()
+
+	rs, err := suite.RunExperimentsContext(ctx, ids, prog)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "exps: %v\n", err)
 	}

@@ -1,30 +1,26 @@
 package main
 
 import (
-	"fmt"
-
+	"mediasmt/internal/cliflags"
 	"mediasmt/internal/exp"
 )
 
 // validateFlags rejects flag values that NewSuite / sim.Normalize would
-// otherwise silently coerce to their defaults (scale <= 0 runs at 1.0,
-// seed 0 runs as 12345): a run must either do what the flags say or
-// refuse, never mislabel itself. Matches smtsim's rejection of
-// non-positive -scale.
+// otherwise silently coerce to their defaults: a run must either do
+// what the flags say or refuse, never mislabel itself. The bounds live
+// in internal/cliflags, shared with smtsim and the expsd request
+// decoder; only the flag names are local.
 func validateFlags(scale float64, seed uint64, workers int, maxCycles int64) error {
-	if scale <= 0 {
-		return fmt.Errorf("non-positive -scale %g (want > 0)", scale)
+	if err := cliflags.Scale("-scale", scale); err != nil {
+		return err
 	}
-	if seed == 0 {
-		return fmt.Errorf("-seed 0 would silently run the default seed 12345; pass a positive seed")
+	if err := cliflags.Seed("-seed", seed); err != nil {
+		return err
 	}
-	if workers < 0 {
-		return fmt.Errorf("negative -j %d (want > 0, or 0 for GOMAXPROCS)", workers)
+	if err := cliflags.Workers("-j", workers); err != nil {
+		return err
 	}
-	if maxCycles < 0 {
-		return fmt.Errorf("negative -max-cycles %d (want > 0, or 0 for the simulator default)", maxCycles)
-	}
-	return nil
+	return cliflags.MaxCycles("-max-cycles", maxCycles)
 }
 
 // exitCode maps a finished run onto the process exit code:

@@ -1,0 +1,115 @@
+// Command expsd serves the experiment engine over HTTP: submit
+// experiment sets as jobs, stream their progress as server-sent
+// events, and fetch the finished JSON/CSV result sets — the same
+// artifacts exps prints, produced by the same engine code path.
+//
+// Usage:
+//
+//	expsd [-addr :8344] [-j N] [-max-jobs N]
+//	      [-cache-dir DIR] [-no-cache] [-fingerprint]
+//
+// All jobs share one worker pool (-j bounds simulations in flight
+// across every job, default GOMAXPROCS) and one on-disk result cache
+// (default $XDG_CACHE_HOME/mediasmt, the same store exps and smtsim
+// use): a configuration any previous job or any previous process
+// already simulated is served from disk without executing. The job
+// store retains the -max-jobs most recent jobs; once it is full of
+// settled jobs the oldest are evicted, and if every retained job is
+// still running new submissions get 503 backpressure.
+//
+// Example session:
+//
+//	expsd -addr :8344 &
+//	curl -s :8344/v1/jobs -d '{"experiments":["fig4","table4"],"scale":0.05}'
+//	curl -N :8344/v1/jobs/job-1/events        # SSE progress until done
+//	curl -s :8344/v1/jobs/job-1               # status + per-config errors
+//	curl -s ':8344/v1/jobs/job-1/results?format=csv'
+//
+// SIGINT/SIGTERM shut the listener down gracefully and cancel
+// simulations not yet started; completed results are already on disk.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"mediasmt/internal/cache"
+	"mediasmt/internal/cliflags"
+	"mediasmt/internal/exp"
+	"mediasmt/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrently running simulations across all jobs (0 = GOMAXPROCS)")
+	maxJobs := flag.Int("max-jobs", serve.DefaultMaxJobs, "max retained jobs; oldest settled jobs are evicted, a store full of running jobs refuses submissions")
+	cacheDir := flag.String("cache-dir", cache.DefaultDir(), "on-disk result cache directory ('' disables)")
+	noCache := flag.Bool("no-cache", false, "disable the on-disk result cache")
+	fingerprint := flag.Bool("fingerprint", false, "print the cache fingerprint (cache format + simulator version), then exit")
+	flag.Parse()
+
+	if *fingerprint {
+		fmt.Println(cache.Fingerprint())
+		return
+	}
+	if err := cliflags.Workers("-j", *workers); err != nil {
+		fmt.Fprintf(os.Stderr, "expsd: %v\n", err)
+		os.Exit(2)
+	}
+	if *maxJobs <= 0 {
+		fmt.Fprintf(os.Stderr, "expsd: non-positive -max-jobs %d (want > 0)\n", *maxJobs)
+		os.Exit(2)
+	}
+
+	store, err := cache.OpenIfEnabled(*cacheDir, *noCache)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "expsd: cache disabled: %v\n", err)
+		store = nil
+	}
+
+	runner := exp.NewRunner(*workers, store)
+	srv := serve.New(serve.Config{Runner: runner, MaxJobs: *maxJobs})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	cacheNote := "cache off"
+	if store != nil {
+		cacheNote = "cache " + store.Dir()
+	}
+	fmt.Fprintf(os.Stderr, "expsd: listening on %s (%d workers, %d max jobs, %s, %s)\n",
+		*addr, runner.Workers(), *maxJobs, cacheNote, cache.Fingerprint())
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "expsd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+		// Deregister the handler: a second signal during the drain
+		// below force-quits instead of being swallowed.
+		stop()
+	}
+
+	// Cancel job contexts first: queued simulations fail fast, jobs
+	// settle, and their SSE streams end — otherwise Shutdown would wait
+	// out its whole timeout on event streams pinned to running jobs.
+	srv.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "expsd: shutdown: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "expsd: bye")
+}

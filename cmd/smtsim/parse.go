@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 
+	"mediasmt/internal/cliflags"
 	"mediasmt/internal/core"
 	"mediasmt/internal/mem"
 	"mediasmt/internal/sim"
@@ -48,16 +49,17 @@ func parseMemMode(s string) (mem.Mode, error) {
 }
 
 // buildConfig assembles a simulation config from the raw flag values.
+// The bounds checks live in internal/cliflags, shared with exps and
+// the expsd request decoder.
 func buildConfig(isaFlag, policyFlag, memFlag string, threads int, scale float64, seed uint64) (sim.Config, error) {
-	switch threads {
-	case 1, 2, 4, 8:
-	default:
-		return sim.Config{}, fmt.Errorf("unsupported thread count %d (want 1, 2, 4 or 8)", threads)
+	if err := cliflags.Threads("-threads", threads); err != nil {
+		return sim.Config{}, err
 	}
-	// Normalize would silently run scale <= 0 at 1.0 while the report
-	// labels the run with the raw flag value; reject it instead.
-	if scale <= 0 {
-		return sim.Config{}, fmt.Errorf("non-positive scale %g (want > 0)", scale)
+	if err := cliflags.Scale("-scale", scale); err != nil {
+		return sim.Config{}, err
+	}
+	if err := cliflags.Seed("-seed", seed); err != nil {
+		return sim.Config{}, err
 	}
 	cfg := sim.Config{Threads: threads, Scale: scale, Seed: seed}
 	var err error

@@ -108,4 +108,9 @@ func TestBuildConfig(t *testing.T) {
 			t.Errorf("buildConfig accepted non-positive scale %g", sc)
 		}
 	}
+	// Seed 0 would silently run the default seed (shared bound with
+	// exps and expsd via internal/cliflags).
+	if _, err := buildConfig("mmx", "rr", "ideal", 1, 1, 0); err == nil {
+		t.Error("buildConfig accepted seed 0")
+	}
 }

@@ -11,6 +11,7 @@
 //	go build ./... && go test ./...
 //	go run ./cmd/smtsim -isa mom -threads 8 -policy oc -mem decoupled
 //	go run ./cmd/exps -run all -j 8 -json
+//	go run ./cmd/expsd -addr :8344 -j 8
 //
 // Simulation results persist across invocations in a content-addressed
 // on-disk cache (internal/cache), keyed on the canonical config key
@@ -28,7 +29,20 @@
 // exps exits 0 on success, 1 on total failure, 2 on usage errors and
 // 3 on partial failure.
 //
+// The same engine serves over HTTP: cmd/expsd accepts experiment
+// submissions (POST /v1/jobs, validated with the same bounds as the
+// exps flags), streams per-simulation progress as server-sent events
+// (GET /v1/jobs/{id}/events), and serves finished result sets through
+// the exps emitters (GET /v1/jobs/{id}/results) — the CSV is
+// byte-identical to exps -csv for the same configs.
+// All jobs share one worker pool and the on-disk cache, so an
+// identical second submission completes with zero simulations
+// executed; partial failures settle the job as "failed" with the
+// offending config keys in its status view while every unaffected
+// experiment still renders.
+//
 // See README.md for the package layout, cmd/exps for regenerating
 // every table and figure (deduplicated and fanned out over a worker
-// pool), and examples/ for runnable usage of the public packages.
+// pool), cmd/expsd for the HTTP service, and examples/ for runnable
+// usage of the public packages.
 package mediasmt

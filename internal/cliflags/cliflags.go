@@ -1,0 +1,66 @@
+// Package cliflags holds the bounds checks every front-end applies to
+// user-supplied simulation parameters, so cmd/smtsim, cmd/exps and the
+// HTTP request decoder in internal/serve reject out-of-range values
+// with one shared rule set instead of drifting copies. The invariant
+// behind every check: a run must either do what the parameters say or
+// refuse — sim.Config.Normalize and exp.NewSuite silently coerce zero
+// values to defaults (scale <= 0 runs at 1.0, seed 0 runs as 12345),
+// so an explicit out-of-range value has to be refused before it
+// reaches them, never mislabelled.
+//
+// Each check takes the parameter's user-facing name ("-scale" for a
+// CLI flag, "scale" for a JSON field) so the error reads in the
+// caller's vocabulary while the bound itself stays shared.
+package cliflags
+
+import (
+	"fmt"
+
+	"mediasmt/internal/sim"
+)
+
+// Scale rejects non-positive workload scales, which Normalize would
+// silently run at 1.0 while the run labels itself with the raw value.
+func Scale(name string, v float64) error {
+	if v <= 0 {
+		return fmt.Errorf("non-positive %s %g (want > 0)", name, v)
+	}
+	return nil
+}
+
+// Seed rejects seed 0, which Normalize silently replaces with the
+// default seed.
+func Seed(name string, v uint64) error {
+	if v == 0 {
+		return fmt.Errorf("%s 0 would silently run the default seed %d; pass a positive seed", name, sim.DefaultSeed)
+	}
+	return nil
+}
+
+// Workers rejects negative worker counts; 0 is valid and means "use
+// the full pool" (GOMAXPROCS for the CLIs, the daemon's -j for jobs).
+func Workers(name string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("negative %s %d (want > 0, or 0 for the full worker pool)", name, v)
+	}
+	return nil
+}
+
+// MaxCycles rejects negative cycle caps; 0 is valid and keeps the
+// simulator's default safety stop.
+func MaxCycles(name string, v int64) error {
+	if v < 0 {
+		return fmt.Errorf("negative %s %d (want > 0, or 0 for the simulator default)", name, v)
+	}
+	return nil
+}
+
+// Threads rejects hardware context counts outside the paper's
+// evaluated machine sizes.
+func Threads(name string, v int) error {
+	switch v {
+	case 1, 2, 4, 8:
+		return nil
+	}
+	return fmt.Errorf("unsupported %s %d (want 1, 2, 4 or 8)", name, v)
+}

@@ -1,0 +1,73 @@
+package cliflags
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScale(t *testing.T) {
+	for _, v := range []float64{0.001, 0.05, 1, 1000} {
+		if err := Scale("-scale", v); err != nil {
+			t.Errorf("Scale(%g) = %v, want nil", v, err)
+		}
+	}
+	for _, v := range []float64{0, -0.5, -100} {
+		err := Scale("-scale", v)
+		if err == nil || !strings.Contains(err.Error(), "-scale") {
+			t.Errorf("Scale(%g) = %v, want error naming -scale", v, err)
+		}
+	}
+}
+
+func TestSeed(t *testing.T) {
+	if err := Seed("seed", 1); err != nil {
+		t.Errorf("Seed(1) = %v, want nil", err)
+	}
+	if err := Seed("seed", 0); err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Errorf("Seed(0) = %v, want error naming seed", err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	for _, v := range []int{0, 1, 64} {
+		if err := Workers("-j", v); err != nil {
+			t.Errorf("Workers(%d) = %v, want nil (0 means full pool)", v, err)
+		}
+	}
+	if err := Workers("-j", -2); err == nil || !strings.Contains(err.Error(), "-j") {
+		t.Errorf("Workers(-2) = %v, want error naming -j", err)
+	}
+}
+
+func TestMaxCycles(t *testing.T) {
+	for _, v := range []int64{0, 1, 200_000_000} {
+		if err := MaxCycles("max_cycles", v); err != nil {
+			t.Errorf("MaxCycles(%d) = %v, want nil (0 means simulator default)", v, err)
+		}
+	}
+	if err := MaxCycles("max_cycles", -5); err == nil || !strings.Contains(err.Error(), "max_cycles") {
+		t.Errorf("MaxCycles(-5) = %v, want error naming max_cycles", err)
+	}
+}
+
+func TestThreads(t *testing.T) {
+	for _, v := range []int{1, 2, 4, 8} {
+		if err := Threads("-threads", v); err != nil {
+			t.Errorf("Threads(%d) = %v, want nil", v, err)
+		}
+	}
+	for _, v := range []int{0, 3, 5, 16, -1} {
+		if err := Threads("-threads", v); err == nil || !strings.Contains(err.Error(), "-threads") {
+			t.Errorf("Threads(%d) = %v, want error naming -threads", v, err)
+		}
+	}
+}
+
+// TestNameReachesMessage pins the contract serve's decoder relies on:
+// the caller's vocabulary (JSON field name, not flag name) is what the
+// user reads back in a 400 body.
+func TestNameReachesMessage(t *testing.T) {
+	if err := Scale("scale", -1); err == nil || strings.Contains(err.Error(), "-scale") {
+		t.Errorf("Scale with JSON-style name leaked a flag name: %v", err)
+	}
+}

@@ -8,6 +8,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -50,27 +51,20 @@ type Options struct {
 // each simulation once, even when requested concurrently.
 type Suite struct {
 	opts  Options
+	store *countingStore // per-suite cache counters; nil when uncached
 	sched *scheduler
 }
 
-// NewSuite builds a suite. Zero-valued options mean "use the default"
-// (Scale 1.0, Seed 12345, Workers GOMAXPROCS, MaxCycles 200M), the
-// same contract as sim.Config.Normalize. Front-ends that take these
-// values from user input (cmd/exps, the planned HTTP service) must
-// validate before building Options: an explicit out-of-range value
-// should be refused there, not silently coerced here.
+// NewSuite builds a standalone suite over a private Runner. Zero-valued
+// options mean "use the default" (Scale 1.0, Seed 12345, Workers
+// GOMAXPROCS, MaxCycles 200M), the same contract as
+// sim.Config.Normalize. Front-ends that take these values from user
+// input (cmd/exps, internal/serve) must validate before building
+// Options: an explicit out-of-range value should be refused there, not
+// silently coerced here. Long-lived multi-job callers share one
+// Runner and derive a suite per job with Runner.NewSuite instead.
 func NewSuite(opts Options) *Suite {
-	if opts.Scale <= 0 {
-		opts.Scale = 1
-	}
-	if opts.Seed == 0 {
-		opts.Seed = 12345
-	}
-	var store resultStore
-	if opts.Cache != nil {
-		store = opts.Cache
-	}
-	return &Suite{opts: opts, sched: newScheduler(opts.Workers, store)}
+	return NewRunner(opts.Workers, opts.Cache).NewSuite(opts)
 }
 
 // Config builds the full simulation config for the suite's scale and
@@ -91,7 +85,16 @@ func (s *Suite) Config(isa core.ISAKind, threads int, pol core.Policy, mode mem.
 // RunConfig executes one simulation through the scheduler, deduplicated
 // and cached on the canonical config key. Safe for concurrent use.
 func (s *Suite) RunConfig(cfg sim.Config) (*sim.Result, error) {
-	r, err := s.sched.run(cfg)
+	return s.RunConfigContext(context.Background(), cfg)
+}
+
+// RunConfigContext is RunConfig honouring ctx: cancellation fails the
+// call while waiting for a worker slot or an in-flight duplicate. A
+// simulation already executing runs to completion (sim.Run is not
+// interruptible) — its result still lands in the cache for the next
+// caller.
+func (s *Suite) RunConfigContext(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+	r, err := s.sched.run(ctx, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s: %w", cfg.Key(), err)
 	}
@@ -111,7 +114,14 @@ func (s *Suite) Run(isa core.ISAKind, threads int, pol core.Policy, mode mem.Mod
 // error is nil when everything resolved, otherwise an errors.Join
 // naming every failed key in sorted order.
 func (s *Suite) Prefetch(cfgs []sim.Config, onDone func(done, total int, key string, err error)) error {
-	return joinKeyErrors(s.sched.prefetch(cfgs, onDone))
+	return s.PrefetchContext(context.Background(), cfgs, onDone)
+}
+
+// PrefetchContext is Prefetch honouring ctx: configs not yet started
+// when ctx is cancelled fail with the context error (still reported
+// through onDone, so progress reaches total).
+func (s *Suite) PrefetchContext(ctx context.Context, cfgs []sim.Config, onDone func(done, total int, key string, err error)) error {
+	return joinKeyErrors(s.sched.prefetch(ctx, cfgs, onDone))
 }
 
 // Simulations reports how many simulations the suite executed
@@ -127,13 +137,15 @@ func (s *Suite) Simulations() int64 { return s.sched.simulations() }
 // results may miss the cache.
 func (s *Suite) Flush() { s.sched.flush() }
 
-// CacheStats snapshots the persistent cache's hit/miss/write counters;
-// ok is false when the suite runs uncached.
+// CacheStats snapshots this suite's hit/miss/write counters against
+// the persistent cache; ok is false when the suite runs uncached. The
+// counters are per-suite even when the underlying store is shared
+// across jobs through a Runner.
 func (s *Suite) CacheStats() (st cache.Stats, ok bool) {
-	if s.opts.Cache == nil {
+	if s.store == nil {
 		return cache.Stats{}, false
 	}
-	return s.opts.Cache.Stats(), true
+	return s.store.stats(), true
 }
 
 // Workers reports the concurrency bound the suite schedules under.

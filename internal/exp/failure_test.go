@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"sync/atomic"
@@ -239,5 +240,56 @@ func TestSuiteMaxCyclesOption(t *testing.T) {
 	}
 	if _, err := capped.RunConfig(cfg); err == nil || !strings.Contains(err.Error(), "MaxCycles") {
 		t.Errorf("one-cycle cap returned err=%v, want MaxCycles error", err)
+	}
+}
+
+// TestCancelledRunRendersCompletedWork pins the cancellation
+// partition: a cancelled context fails exactly the experiments whose
+// simulations could not run, while config-free experiments (and any
+// whose simulations completed) still render — an interrupted run
+// degrades to a partial one instead of losing finished work.
+func TestCancelledRunRendersCompletedWork(t *testing.T) {
+	s := NewSuite(Options{Scale: 0.05, Seed: 7, Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: no simulation may start
+
+	rs, err := s.RunExperimentsContext(ctx, []string{"table1", "fig4"}, Progress{})
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("joined error does not carry context.Canceled: %v", err)
+	}
+	if rs == nil {
+		t.Fatal("cancelled run returned no result set")
+	}
+	byID := map[string]ExperimentResult{}
+	for _, e := range rs.Experiments {
+		byID[e.ID] = e
+	}
+	if e := byID["table1"]; e.Status != StatusOK || e.Output == "" {
+		t.Errorf("config-free table1 lost to cancellation: %+v", e)
+	}
+	fig4 := byID["fig4"]
+	if fig4.Status != StatusFailed || len(fig4.ConfigErrors) == 0 {
+		t.Fatalf("fig4 not failed with config errors: %+v", fig4)
+	}
+	for _, ce := range fig4.ConfigErrors {
+		if !strings.Contains(ce.Err, context.Canceled.Error()) {
+			t.Errorf("config error %+v does not name the cancellation", ce)
+		}
+	}
+	if s.Simulations() != 0 {
+		t.Errorf("cancelled run executed %d simulations, want 0", s.Simulations())
+	}
+
+	// The same suite, uncancelled, heals: cancelled entries were
+	// evicted, so a retry executes fresh.
+	rs2, err := s.RunExperiments([]string{"fig4"}, Progress{})
+	if err != nil {
+		t.Fatalf("retry after cancellation failed: %v", err)
+	}
+	if rs2.Experiments[0].Status != StatusOK {
+		t.Errorf("retry did not render: %+v", rs2.Experiments[0])
 	}
 }

@@ -1,0 +1,173 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// goldenResultSet is a hand-built result set with fixed values — one
+// rendered experiment, one failed with config errors, and two sim
+// records (one carrying overrides) — so the emitter goldens cover the
+// full field surface including the partial-failure shape. Changing an
+// emitter changes bytes that CI (cache-smoke, serve-smoke) and HTTP
+// clients diff against; these goldens make that break loud and local.
+func goldenResultSet() *ResultSet {
+	return &ResultSet{
+		Scale:       0.05,
+		Seed:        7,
+		Workers:     2,
+		Simulations: 2,
+		CacheHits:   1,
+		CacheMisses: 2,
+		CacheWrites: 2,
+		Failed:      1,
+		FailedSims:  1,
+		WallSeconds: 0,
+		Experiments: []ExperimentResult{
+			{
+				ID:     "table1",
+				Title:  "Table 1: architectural parameters vs. thread count",
+				Status: StatusOK,
+				Output: "col\n---\n1\n",
+			},
+			{
+				ID:     "fig4",
+				Title:  "Figure 4: performance with perfect cache",
+				Status: StatusFailed,
+				Err:    "1 of 8 configs failed",
+				ConfigErrors: []ConfigError{
+					{Key: "MMX/1/RR/Ideal/scale=0.05/seed=7/max=1000", Err: "hit MaxCycles limit"},
+				},
+			},
+		},
+		Sims: []SimRecord{
+			{
+				Key: "MMX/1/RR/Ideal/scale=0.05/seed=7/max=200000000",
+				ISA: "MMX", Threads: 1, Policy: "RR", Memory: "Ideal",
+				Scale: 0.05, Seed: 7, Cycles: 123456,
+				IPC: 1.5, EquivIPC: 1.5, EIPC: 1.5,
+				Completed: 8, Started: 9,
+				ICHitRate: 0.99, L1HitRate: 0.875, L2HitRate: 0.5,
+				AvgL1Lat: 2.25,
+			},
+			{
+				Key: "MOM/8/OCOUNT/Decoupled/scale=0.05/seed=7/max=200000000/mem={L1MSHRs:2}",
+				ISA: "MOM", Threads: 8, Policy: "OCOUNT", Memory: "Decoupled",
+				Scale: 0.05, Seed: 7, Cycles: 654321,
+				IPC: 4, EquivIPC: 6.125, EIPC: 6.125,
+				Completed: 8, Started: 16,
+				ICHitRate: 1, L1HitRate: 0.75, L2HitRate: 0.25,
+				AvgL1Lat:  3.5,
+				Overrides: "mem={L1MSHRs:2}",
+			},
+		},
+	}
+}
+
+const goldenCSV = `key,isa,threads,policy,memory,scale,seed,cycles,ipc,equiv_ipc,eipc,completed,started,icache_hit_rate,l1_hit_rate,l2_hit_rate,avg_l1_load_latency,overrides
+MMX/1/RR/Ideal/scale=0.05/seed=7/max=200000000,MMX,1,RR,Ideal,0.05,7,123456,1.500000,1.500000,1.500000,8,9,0.990000,0.875000,0.500000,2.250000,
+MOM/8/OCOUNT/Decoupled/scale=0.05/seed=7/max=200000000/mem={L1MSHRs:2},MOM,8,OCOUNT,Decoupled,0.05,7,654321,4.000000,6.125000,6.125000,8,16,1.000000,0.750000,0.250000,3.500000,mem={L1MSHRs:2}
+`
+
+const goldenJSON = `{
+  "scale": 0.05,
+  "seed": 7,
+  "workers": 2,
+  "simulations": 2,
+  "cache_hits": 1,
+  "cache_misses": 2,
+  "cache_writes": 2,
+  "failed": 1,
+  "failed_sims": 1,
+  "wall_seconds": 0,
+  "experiments": [
+    {
+      "id": "table1",
+      "title": "Table 1: architectural parameters vs. thread count",
+      "status": "ok",
+      "output": "col\n---\n1\n",
+      "seconds": 0
+    },
+    {
+      "id": "fig4",
+      "title": "Figure 4: performance with perfect cache",
+      "status": "failed",
+      "output": "",
+      "seconds": 0,
+      "error": "1 of 8 configs failed",
+      "config_errors": [
+        {
+          "key": "MMX/1/RR/Ideal/scale=0.05/seed=7/max=1000",
+          "error": "hit MaxCycles limit"
+        }
+      ]
+    }
+  ],
+  "sims": [
+    {
+      "key": "MMX/1/RR/Ideal/scale=0.05/seed=7/max=200000000",
+      "isa": "MMX",
+      "threads": 1,
+      "policy": "RR",
+      "memory": "Ideal",
+      "scale": 0.05,
+      "seed": 7,
+      "cycles": 123456,
+      "ipc": 1.5,
+      "equiv_ipc": 1.5,
+      "eipc": 1.5,
+      "completed": 8,
+      "started": 9,
+      "icache_hit_rate": 0.99,
+      "l1_hit_rate": 0.875,
+      "l2_hit_rate": 0.5,
+      "avg_l1_load_latency": 2.25
+    },
+    {
+      "key": "MOM/8/OCOUNT/Decoupled/scale=0.05/seed=7/max=200000000/mem={L1MSHRs:2}",
+      "isa": "MOM",
+      "threads": 8,
+      "policy": "OCOUNT",
+      "memory": "Decoupled",
+      "scale": 0.05,
+      "seed": 7,
+      "cycles": 654321,
+      "ipc": 4,
+      "equiv_ipc": 6.125,
+      "eipc": 6.125,
+      "completed": 8,
+      "started": 16,
+      "icache_hit_rate": 1,
+      "l1_hit_rate": 0.75,
+      "l2_hit_rate": 0.25,
+      "avg_l1_load_latency": 3.5,
+      "overrides": "mem={L1MSHRs:2}"
+    }
+  ]
+}
+`
+
+// TestWriteCSVGolden pins the CSV emitter's exact bytes, including the
+// failed-experiment result set's sim rows and the overrides column.
+func TestWriteCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenResultSet().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != goldenCSV {
+		t.Errorf("CSV emitter drifted:\n--- got ---\n%s\n--- want ---\n%s", buf.String(), goldenCSV)
+	}
+}
+
+// TestWriteJSONGolden pins the JSON emitter's exact bytes: field order,
+// indentation, the always-present cache/failure counters, and the
+// failed experiment's error + config_errors shape.
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenResultSet().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != goldenJSON {
+		t.Errorf("JSON emitter drifted:\n--- got ---\n%s\n--- want ---\n%s", buf.String(), goldenJSON)
+	}
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"errors"
@@ -204,6 +205,12 @@ type Progress struct {
 // independent of the worker count. Unknown ids fail up front, before
 // any simulation, with a nil result set.
 func (s *Suite) RunExperiments(ids []string, prog Progress) (*ResultSet, error) {
+	return s.RunExperimentsContext(context.Background(), ids, prog)
+}
+
+// RunExperimentsContext is RunExperiments honouring ctx; see
+// RunExperimentListContext for the cancellation semantics.
+func (s *Suite) RunExperimentsContext(ctx context.Context, ids []string, prog Progress) (*ResultSet, error) {
 	exps := make([]Experiment, 0, len(ids))
 	for _, id := range ids {
 		e, ok := ByID(id)
@@ -212,19 +219,30 @@ func (s *Suite) RunExperiments(ids []string, prog Progress) (*ResultSet, error) 
 		}
 		exps = append(exps, e)
 	}
-	return s.RunExperimentList(exps, prog)
+	return s.RunExperimentListContext(ctx, exps, prog)
 }
 
 // RunExperimentList is RunExperiments over already-resolved
-// experiments, for callers composing custom artifact lists (tests, the
-// planned HTTP front-end). Each experiment is an isolated failure
-// domain: every declared simulation is attempted, prefetch errors are
-// partitioned onto exactly the experiments whose Configs reference the
-// failed key, and every unaffected experiment renders in order, byte-
-// identical to a fully green run. On any failure the full partial
-// result set is returned alongside an errors.Join of one error per
-// failed experiment, each naming its failed keys.
+// experiments, for callers composing custom artifact lists.
 func (s *Suite) RunExperimentList(exps []Experiment, prog Progress) (*ResultSet, error) {
+	return s.RunExperimentListContext(context.Background(), exps, prog)
+}
+
+// RunExperimentListContext is the engine's single entry point — the
+// CLI and the HTTP service both land here. Each experiment is an
+// isolated failure domain: every declared simulation is attempted,
+// prefetch errors are partitioned onto exactly the experiments whose
+// Configs reference the failed key, and every unaffected experiment
+// renders in order, byte-identical to a fully green run. On any
+// failure the full partial result set is returned alongside an
+// errors.Join of one error per failed experiment, each naming its
+// failed keys. Cancellation rides the same partition: a cancelled ctx
+// fails every simulation not yet started with the context error,
+// failing exactly the experiments that reference one, while
+// experiments whose simulations all completed — and the config-free
+// static tables — still render, so an interrupted run degrades to a
+// partial one instead of losing finished work.
+func (s *Suite) RunExperimentListContext(ctx context.Context, exps []Experiment, prog Progress) (*ResultSet, error) {
 	rs := &ResultSet{Scale: s.opts.Scale, Seed: s.opts.Seed, Workers: s.Workers()}
 	start := time.Now()
 	finish := func() {
@@ -249,7 +267,7 @@ func (s *Suite) RunExperimentList(exps []Experiment, prog Progress) (*ResultSet,
 			cfgs = append(cfgs, declared[i]...)
 		}
 	}
-	prefErrs := s.sched.prefetch(cfgs, prog.Sim)
+	prefErrs := s.sched.prefetch(ctx, cfgs, prog.Sim)
 	rs.FailedSims = len(prefErrs)
 
 	var errs []error

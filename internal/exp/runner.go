@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"mediasmt/internal/cache"
+	"mediasmt/internal/sim"
+)
+
+// Runner owns the resources concurrent experiment runs share: the
+// worker pool bounding simulations in flight and the optional
+// persistent result store. It is safe for concurrent use — the HTTP
+// service (internal/serve) runs every job through one Runner, so the
+// pool bound holds across jobs and every job reads through the same
+// on-disk cache, while each job keeps its own singleflight map,
+// simulation counter and cache statistics. The CLI path is the same
+// code: NewSuite builds a private single-use Runner.
+type Runner struct {
+	sem   chan struct{} // shared execution slots; cap is the pool size
+	cache *cache.Cache  // shared persistent layer; nil runs uncached
+}
+
+// NewRunner builds a runner with the given pool size (0 or negative
+// means GOMAXPROCS) over store (nil disables persistence).
+func NewRunner(workers int, store *cache.Cache) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{sem: make(chan struct{}, workers), cache: store}
+}
+
+// Workers reports the shared pool size.
+func (r *Runner) Workers() int { return cap(r.sem) }
+
+// Cache reports the shared persistent store (nil when uncached).
+func (r *Runner) Cache() *cache.Cache { return r.cache }
+
+// NewSuite derives a job-scoped suite from the runner. The suite
+// shares the runner's execution slots and persistent store but keeps
+// its own singleflight map, simulation counter and cache counters, so
+// concurrent jobs never leak each other's records into their result
+// sets. opts.Workers, when positive, caps this suite's share of the
+// pool (clamped to the pool size); opts.Cache is ignored — the
+// runner's store always wins, so a suite cannot silently split its
+// reads and writes across two stores.
+func (r *Runner) NewSuite(opts Options) *Suite {
+	if opts.Scale <= 0 {
+		opts.Scale = sim.DefaultScale
+	}
+	if opts.Seed == 0 {
+		opts.Seed = sim.DefaultSeed
+	}
+	var counting *countingStore
+	var store resultStore
+	if r.cache != nil {
+		counting = &countingStore{inner: r.cache}
+		store = counting
+	}
+	limit := opts.Workers
+	if limit <= 0 || limit > cap(r.sem) {
+		limit = cap(r.sem)
+	}
+	return &Suite{opts: opts, store: counting, sched: newScheduler(r.sem, limit, store)}
+}
+
+// countingStore tracks one suite's hits/misses/writes against a store
+// shared with other suites, so per-job cache statistics stay exact
+// even when jobs run concurrently against one cache.
+type countingStore struct {
+	inner                resultStore
+	hits, misses, writes atomic.Int64
+}
+
+func (c *countingStore) Get(key string) (*sim.Result, bool) {
+	r, ok := c.inner.Get(key)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return r, ok
+}
+
+func (c *countingStore) Put(key string, r *sim.Result) error {
+	err := c.inner.Put(key, r)
+	if err == nil {
+		c.writes.Add(1)
+	}
+	return err
+}
+
+func (c *countingStore) stats() cache.Stats {
+	return cache.Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Writes: c.writes.Load()}
+}

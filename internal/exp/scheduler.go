@@ -1,8 +1,8 @@
 package exp
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -24,9 +24,13 @@ type resultStore interface {
 // simulation. With a store attached, run() reads through it (memory →
 // disk → execute) and writes freshly executed results behind the
 // waiters' backs, so in-process dedup and cross-process persistence
-// compose.
+// compose. The execution slots (sem) may be shared with other
+// schedulers through a Runner, bounding simulations in flight across
+// every job in the process; the singleflight map, counters and store
+// wrapper stay per-scheduler.
 type scheduler struct {
-	sem   chan struct{} // bounds concurrently executing simulations
+	sem   chan struct{} // execution slots, possibly shared across suites
+	limit int           // this scheduler's concurrency cap (<= cap(sem))
 	store resultStore   // optional persistent layer; nil disables it
 	exec  func(sim.Config) (*sim.Result, error)
 
@@ -45,20 +49,21 @@ type schedEntry struct {
 	err  error
 }
 
-func newScheduler(workers int, store resultStore) *scheduler {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+func newScheduler(sem chan struct{}, limit int, store resultStore) *scheduler {
+	if limit <= 0 || limit > cap(sem) {
+		limit = cap(sem)
 	}
 	return &scheduler{
-		sem:     make(chan struct{}, workers),
+		sem:     sem,
+		limit:   limit,
 		store:   store,
 		exec:    sim.Run, // seam: tests model transient failures here
 		entries: make(map[string]*schedEntry),
 	}
 }
 
-// workers reports the pool bound.
-func (s *scheduler) workers() int { return cap(s.sem) }
+// workers reports this scheduler's concurrency cap.
+func (s *scheduler) workers() int { return s.limit }
 
 // run returns the cached result for cfg, executing the simulation if
 // this is the first caller for its key. Concurrent callers with the
@@ -66,14 +71,20 @@ func (s *scheduler) workers() int { return cap(s.sem) }
 // cached: a failed (or panicked) entry is evicted before its waiters
 // wake, so the error reaches everyone already joined on it while the
 // next call for the same key retries fresh instead of replaying a
-// poisoned entry — transient failures heal in-process.
-func (s *scheduler) run(cfg sim.Config) (*sim.Result, error) {
+// poisoned entry — transient failures heal in-process. Cancelling ctx
+// fails the call while it waits (for an in-flight duplicate or a free
+// execution slot); an execution already started is not interrupted.
+func (s *scheduler) run(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
 	key := cfg.Key()
 	s.mu.Lock()
 	if e, ok := s.entries[key]; ok {
 		s.mu.Unlock()
-		<-e.done
-		return e.res, e.err
+		select {
+		case <-e.done:
+			return e.res, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	e := &schedEntry{done: make(chan struct{})}
 	s.entries[key] = e
@@ -106,7 +117,14 @@ func (s *scheduler) run(cfg sim.Config) (*sim.Result, error) {
 				return
 			}
 		}
-		s.sem <- struct{}{}
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			// The entry is evicted through the error path above, so a
+			// later, uncancelled caller retries fresh.
+			e.err = ctx.Err()
+			return
+		}
 		defer func() { <-s.sem }()
 		e.res, e.err = s.exec(cfg)
 		if e.err == nil {
@@ -136,13 +154,14 @@ func (s *scheduler) flush() { s.pending.Wait() }
 // on an in-flight duplicate and progress counts unique simulations.
 // Every unique config is simulated regardless of other configs'
 // failures — configs are isolated failure domains, so one bad
-// simulation never suppresses the rest of the set. onDone, if non-nil,
-// is called after each unique config settles (cache hits and failures
-// included) with the number settled so far and that config's error;
-// calls are serialized and progress always reaches total. The returned
-// map carries one entry per failed canonical key; it is nil when every
-// config resolved.
-func (s *scheduler) prefetch(cfgs []sim.Config, onDone func(done, total int, key string, err error)) map[string]error {
+// simulation never suppresses the rest of the set — but a cancelled
+// ctx fails every config not yet started with the context error.
+// onDone, if non-nil, is called after each unique config settles
+// (cache hits, failures and cancellations included) with the number
+// settled so far and that config's error; calls are serialized and
+// progress always reaches total. The returned map carries one entry
+// per failed canonical key; it is nil when every config resolved.
+func (s *scheduler) prefetch(ctx context.Context, cfgs []sim.Config, onDone func(done, total int, key string, err error)) map[string]error {
 	seen := make(map[string]bool, len(cfgs))
 	unique := cfgs[:0:0]
 	for _, cfg := range cfgs {
@@ -171,7 +190,13 @@ func (s *scheduler) prefetch(cfgs []sim.Config, onDone func(done, total int, key
 		go func() {
 			defer wg.Done()
 			for cfg := range feed {
-				_, err := s.run(cfg)
+				var err error
+				// A cancelled prefetch drains the feed without even
+				// probing the store, so the error map (and onDone)
+				// still covers every config.
+				if err = ctx.Err(); err == nil {
+					_, err = s.run(ctx, cfg)
+				}
 				progMu.Lock()
 				finished++
 				if err != nil {

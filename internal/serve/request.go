@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"mediasmt/internal/cliflags"
+	"mediasmt/internal/exp"
+	"mediasmt/internal/sim"
+)
+
+// maxRequestBody bounds a job submission; experiment lists are tiny,
+// so anything larger is a mistake or abuse.
+const maxRequestBody = 1 << 20
+
+// JobRequest is the POST /v1/jobs body. Experiments lists built-in
+// experiment ids ("all", an empty list or omission mean every
+// experiment). The scalar fields are pointers so the decoder can tell
+// "omitted, use the default" from an explicit out-of-range zero, which
+// is rejected — the same contract as the exps flags, with the same
+// bounds (internal/cliflags).
+type JobRequest struct {
+	Experiments []string `json:"experiments"`
+	Scale       *float64 `json:"scale"`
+	Seed        *uint64  `json:"seed"`
+	Workers     *int     `json:"workers"`
+	MaxCycles   *int64   `json:"max_cycles"`
+}
+
+// requestError is a validation failure the handler maps to a 400; any
+// other decode-path error stays a 500.
+type requestError struct{ msg string }
+
+func (e *requestError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &requestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// decodeJobRequest parses and validates one submission body into the
+// experiment id list and suite options for the job. Every rejection is
+// a *requestError: a client sending out-of-range parameters must see a
+// 400 naming the field, never a 500.
+func decodeJobRequest(body io.Reader) (ids []string, opts exp.Options, err error) {
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req JobRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, exp.Options{}, badRequest("invalid JSON body: %v", err)
+	}
+	if dec.More() {
+		return nil, exp.Options{}, badRequest("invalid JSON body: trailing data after the request object")
+	}
+	ids, err = resolveExperimentIDs(req.Experiments)
+	if err != nil {
+		return nil, exp.Options{}, err
+	}
+
+	opts = exp.Options{Scale: sim.DefaultScale, Seed: sim.DefaultSeed}
+	if req.Scale != nil {
+		if err := cliflags.Scale("scale", *req.Scale); err != nil {
+			return nil, exp.Options{}, badRequest("%v", err)
+		}
+		opts.Scale = *req.Scale
+	}
+	if req.Seed != nil {
+		if err := cliflags.Seed("seed", *req.Seed); err != nil {
+			return nil, exp.Options{}, badRequest("%v", err)
+		}
+		opts.Seed = *req.Seed
+	}
+	if req.Workers != nil {
+		if err := cliflags.Workers("workers", *req.Workers); err != nil {
+			return nil, exp.Options{}, badRequest("%v", err)
+		}
+		opts.Workers = *req.Workers
+	}
+	if req.MaxCycles != nil {
+		if err := cliflags.MaxCycles("max_cycles", *req.MaxCycles); err != nil {
+			return nil, exp.Options{}, badRequest("%v", err)
+		}
+		opts.MaxCycles = *req.MaxCycles
+	}
+	return ids, opts, nil
+}
+
+// resolveExperimentIDs expands and validates the requested experiment
+// list. An empty list (or the single element "all") means every
+// built-in, in paper order; unknown ids are rejected naming the valid
+// set, mirroring exps -run.
+func resolveExperimentIDs(req []string) ([]string, error) {
+	if len(req) == 0 || (len(req) == 1 && req[0] == "all") {
+		return exp.IDs(), nil
+	}
+	ids := make([]string, 0, len(req))
+	for _, id := range req {
+		id = strings.TrimSpace(id)
+		if _, ok := exp.ByID(id); !ok {
+			return nil, badRequest("unknown experiment %q (have: %s)", id, strings.Join(exp.IDs(), ", "))
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}

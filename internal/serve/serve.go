@@ -1,0 +1,348 @@
+// Package serve exposes the experiment engine as an HTTP service —
+// the first step of the north star of serving experiment traffic from
+// many users. Submissions run through one shared exp.Runner (so the
+// worker-pool bound holds across jobs) reading through one shared
+// internal/cache store (so a config any previous job — or any previous
+// process — simulated is never simulated again). Each job keeps the
+// engine's fault-isolation semantics: partial failures report the
+// offending config keys instead of suppressing the surviving tables.
+//
+// Endpoints:
+//
+//	POST /v1/jobs                submit {"experiments":[...],"scale":...,
+//	                             "seed":...,"workers":...,"max_cycles":...};
+//	                             202 with the job view, Location header
+//	GET  /v1/jobs                list retained jobs, newest first
+//	GET  /v1/jobs/{id}           job status, incl. per-config errors
+//	GET  /v1/jobs/{id}/results   finished result set; ?format=json (default)
+//	                             or ?format=csv through the exps emitters —
+//	                             CSV byte-identical to exps -csv for the
+//	                             same configs, JSON identical modulo the
+//	                             worker-count and wall-clock fields
+//	GET  /v1/jobs/{id}/events    SSE progress: status, sim, experiment and
+//	                             done events; full history replays on
+//	                             (re)connect
+//	GET  /v1/fingerprint         cache fingerprint + engine metadata
+//	GET  /healthz                liveness
+//
+// The job store is bounded: once MaxJobs jobs are retained, the oldest
+// settled jobs are evicted to make room, and if every retained job is
+// still in flight the submission is refused with 503 — backpressure
+// instead of unbounded memory.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"mediasmt/internal/cache"
+	"mediasmt/internal/exp"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Runner executes every job; required. Its worker pool bounds
+	// simulations in flight across all jobs and its cache (which may be
+	// nil) is the shared read-through store.
+	Runner *exp.Runner
+	// MaxJobs bounds how many jobs the store retains (running jobs
+	// included); 0 means DefaultMaxJobs.
+	MaxJobs int
+}
+
+// DefaultMaxJobs bounds the job store when Config.MaxJobs is zero.
+const DefaultMaxJobs = 64
+
+// Server is the HTTP front-end over one shared experiment Runner.
+type Server struct {
+	runner  *exp.Runner
+	maxJobs int
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // submission order, oldest first; eviction scans it
+	seq   int64
+}
+
+// New builds a server over cfg.Runner.
+func New(cfg Config) *Server {
+	if cfg.Runner == nil {
+		panic("serve: Config.Runner is required")
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = DefaultMaxJobs
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		runner:    cfg.Runner,
+		maxJobs:   cfg.MaxJobs,
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		jobs:      make(map[string]*job),
+	}
+}
+
+// Close cancels every in-flight job (their simulations not yet started
+// fail with the context error) — the daemon calls it on shutdown.
+func (s *Server) Close() { s.cancelAll() }
+
+// Handler returns the service's routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/fingerprint", s.handleFingerprint)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// writeJSON emits v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // header already out; a broken client is its own problem
+}
+
+// writeError emits a JSON error body.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit validates the submission, admits it into the bounded
+// store and starts it on the shared runner.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	ids, opts, err := decodeJobRequest(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		var reqErr *requestError
+		if errors.As(err, &reqErr) {
+			writeError(w, http.StatusBadRequest, "%s", reqErr.msg)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "decode: %v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if !s.evictLocked() {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable,
+			"job store full: %d jobs retained and all still in flight; retry later", s.maxJobs)
+		return
+	}
+	s.seq++
+	j := newJob(fmt.Sprintf("job-%d", s.seq), ids, opts)
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.cancel = cancel
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+
+	go s.runJob(ctx, j)
+
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// evictLocked makes room for one more job, dropping the oldest settled
+// jobs first. It reports false when the store is full of jobs still in
+// flight — running work is never cancelled to admit new work.
+func (s *Server) evictLocked() bool {
+	for len(s.jobs) >= s.maxJobs {
+		evicted := false
+		for i, id := range s.order {
+			j := s.jobs[id]
+			select {
+			case <-j.finished:
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+			default:
+				continue
+			}
+			break
+		}
+		if !evicted {
+			return false
+		}
+	}
+	return true
+}
+
+// runJob executes one job on the shared runner, streaming progress
+// into the job's event history.
+func (s *Server) runJob(ctx context.Context, j *job) {
+	defer j.cancel()
+	j.setRunning()
+	suite := s.runner.NewSuite(j.opts)
+	prog := exp.Progress{
+		Sim: func(done, total int, key string, err error) {
+			ev := map[string]any{"done": done, "total": total, "key": key}
+			if err != nil {
+				ev["error"] = err.Error()
+			}
+			j.publish("sim", ev)
+		},
+		Experiment: func(done, total int, res exp.ExperimentResult) {
+			j.publish("experiment", map[string]any{
+				"done": done, "total": total, "id": res.ID,
+				"status": res.Status, "seconds": res.Seconds,
+			})
+		},
+	}
+	rs, err := suite.RunExperimentsContext(ctx, j.ids, prog)
+	j.finish(rs, err)
+}
+
+// lookup resolves the {id} path segment.
+func (s *Server) lookup(r *http.Request) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[r.PathValue("id")]
+	return j, ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	views := make([]JobView, 0, len(jobs))
+	for i := len(jobs) - 1; i >= 0; i-- { // newest first
+		views = append(views, jobs[i].view())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleResults serves the finished result set through the exact
+// emitters exps uses: the CSV a client fetches is byte-identical to
+// exps -csv for the same configs, and the JSON matches exps -json
+// modulo its worker-count and wall-clock fields.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	status, rs := j.snapshot()
+	if status == JobQueued || status == JobRunning {
+		writeError(w, http.StatusConflict, "job %s is %s; results are not ready (watch /v1/jobs/%s/events)", j.id, status, j.id)
+		return
+	}
+	if rs == nil {
+		// Settled without a result set: the submission named only
+		// unknown experiments — impossible past the decoder — or the
+		// engine refused up front. The error explains it.
+		writeError(w, http.StatusInternalServerError, "job %s produced no result set: %s", j.id, j.view().Error)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = rs.WriteJSON(w)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		_ = rs.WriteCSV(w)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want json or csv)", format)
+	}
+}
+
+// handleEvents streams the job's progress as server-sent events. The
+// full history replays first — subscribing to a finished job yields
+// its complete event log and returns — then live events follow until
+// the job settles or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	history, ch, done := j.subscribe(256)
+	if ch != nil {
+		defer j.unsubscribe(ch)
+	}
+	for _, ev := range history {
+		writeEvent(w, ev)
+	}
+	flusher.Flush()
+	if done {
+		return
+	}
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				// Job settled (done event already sent) or this client
+				// lagged past the buffer; either way the stream ends and
+				// a reconnect replays everything.
+				return
+			}
+			writeEvent(w, ev)
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeEvent emits one SSE frame.
+func writeEvent(w http.ResponseWriter, ev sseEvent) {
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+}
+
+// handleFingerprint reports the cache fingerprint (what exps
+// -fingerprint prints) plus enough engine metadata for a client to
+// know what it is talking to.
+func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]any{
+		"fingerprint": cache.Fingerprint(),
+		"workers":     s.runner.Workers(),
+		"experiments": exp.IDs(),
+		"cache":       false,
+	}
+	if c := s.runner.Cache(); c != nil {
+		resp["cache"] = true
+		resp["cache_dir"] = c.Dir()
+		st := c.Stats()
+		resp["cache_stats"] = map[string]int64{"hits": st.Hits, "misses": st.Misses, "writes": st.Writes}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

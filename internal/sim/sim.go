@@ -36,18 +36,28 @@ type Config struct {
 	Programs []string
 }
 
+// Defaults Normalize applies to zero-valued fields. Every front-end
+// that refuses explicit out-of-range values instead of coercing them
+// (cmd/exps, cmd/smtsim, internal/serve) echoes these, so they live
+// here, next to Normalize, rather than as drifting copies.
+const (
+	DefaultScale     = 1.0
+	DefaultSeed      = 12345
+	DefaultMaxCycles = 200_000_000
+)
+
 // Normalize returns the config with the same defaults Run applies
 // (Scale, MaxCycles, Seed), so that two configs describing the same
 // simulation compare and key identically.
 func (c Config) Normalize() Config {
 	if c.Scale <= 0 {
-		c.Scale = 1
+		c.Scale = DefaultScale
 	}
 	if c.MaxCycles == 0 {
-		c.MaxCycles = 200_000_000
+		c.MaxCycles = DefaultMaxCycles
 	}
 	if c.Seed == 0 {
-		c.Seed = 12345
+		c.Seed = DefaultSeed
 	}
 	return c
 }
