@@ -5,11 +5,13 @@
 package mediasmt_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
 
 	"mediasmt/internal/core"
+	"mediasmt/internal/dist"
 	"mediasmt/internal/exp"
 	"mediasmt/internal/mem"
 	"mediasmt/internal/sim"
@@ -157,4 +159,39 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "siminsts/s")
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+}
+
+// BenchmarkLocalExecutor compares the pre-refactor execution shape —
+// a raw semaphore channel guarding a direct function call, as
+// exp.scheduler inlined before the executor seam — against the same
+// dispatch through dist.Local's Executor interface. A stub run
+// function isolates pure dispatch overhead (a real simulation is
+// milliseconds, six orders of magnitude above either path), showing
+// the interface indirection costs nothing measurable on the hot path.
+func BenchmarkLocalExecutor(b *testing.B) {
+	cfg := sim.Config{ISA: core.ISAMMX, Threads: 1, Policy: core.PolicyRR, Memory: mem.ModeIdeal, Scale: benchScale, Seed: 42}
+	stub := &sim.Result{Cfg: cfg.Normalize(), Cycles: 1}
+	run := func(sim.Config) (*sim.Result, error) { return stub, nil }
+
+	b.Run("direct-semaphore", func(b *testing.B) {
+		sem := make(chan struct{}, 1)
+		for i := 0; i < b.N; i++ {
+			sem <- struct{}{}
+			r, err := run(cfg)
+			<-sem
+			if err != nil || r == nil {
+				b.Fatal("stub failed")
+			}
+		}
+	})
+	b.Run("dist-local", func(b *testing.B) {
+		l := dist.NewLocalFunc(1, run)
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			r, err := l.Execute(ctx, cfg)
+			if err != nil || r == nil {
+				b.Fatal("stub failed")
+			}
+		}
+	})
 }

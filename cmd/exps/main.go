@@ -3,7 +3,7 @@
 // Usage:
 //
 //	exps [-run table3,fig4,...|all] [-scale 1.0] [-seed 12345]
-//	     [-j N] [-max-cycles N] [-json|-csv] [-v]
+//	     [-j N] [-max-cycles N] [-json|-csv] [-v] [-remote URL[,URL...]]
 //	     [-cache-dir DIR] [-no-cache] [-cache-prune] [-fingerprint]
 //
 // Every simulation the requested experiments need is deduplicated and
@@ -32,6 +32,17 @@
 // every entry outside the current fingerprint and exits; -fingerprint
 // prints the current fingerprint (CI uses it as its cache key) and
 // exits.
+//
+// With -remote, exps acts as a distributed coordinator: every
+// simulation is POSTed to one of the listed worker expsd processes
+// (sharded by config key, retrying the other workers when one is
+// down) and exps executes nothing locally — the -json "simulations"
+// count stays 0 because the workers' counters own those executions.
+// Everything else is unchanged: the same scheduler dedups configs,
+// the same cache persists fetched results locally, the same
+// failure-domain partitioning maps an unreachable worker onto exactly
+// the experiments whose configs it stranded, and the rendered tables
+// are byte-identical to a local run.
 package main
 
 import (
@@ -45,6 +56,8 @@ import (
 	"syscall"
 
 	"mediasmt/internal/cache"
+	"mediasmt/internal/cliflags"
+	"mediasmt/internal/dist"
 	"mediasmt/internal/exp"
 )
 
@@ -57,6 +70,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the structured result set as JSON on stdout")
 	csvOut := flag.Bool("csv", false, "emit per-simulation metrics as CSV on stdout")
 	verbose := flag.Bool("v", false, "log each completed simulation to stderr")
+	remote := flag.String("remote", "", "comma-separated worker expsd URLs; simulations execute on the workers, none locally")
+	remoteTimeout := flag.Duration("remote-timeout", dist.DefaultRequestTimeout, "per-request timeout against a -remote worker")
 	cacheDir := flag.String("cache-dir", cache.DefaultDir(), "on-disk result cache directory ('' disables)")
 	noCache := flag.Bool("no-cache", false, "disable the on-disk result cache")
 	cachePrune := flag.Bool("cache-prune", false, "drop all cache entries except the current fingerprint's, then exit")
@@ -106,7 +121,31 @@ func main() {
 		store = nil
 	}
 
-	suite := exp.NewSuite(exp.Options{Scale: *scale, Seed: *seed, Workers: *workers, MaxCycles: *maxCycles, Cache: store})
+	// The executor is the "where do simulations run" policy: the local
+	// worker pool by default, the -remote workers when coordinating.
+	// Everything downstream — scheduler, cache, failure domains,
+	// emitters — is identical either way.
+	var runner *exp.Runner
+	if *remote != "" {
+		peers, err := cliflags.Peers("-remote", *remote)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "exps: %v\n", err)
+			os.Exit(2)
+		}
+		rex, err := dist.NewRemote(peers, dist.RemoteOptions{Workers: *workers, Timeout: *remoteTimeout})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "exps: %v\n", err)
+			os.Exit(2)
+		}
+		runner = exp.NewRunnerExecutor(rex, store)
+	} else {
+		runner = exp.NewRunner(*workers, store)
+	}
+	suite, err := runner.NewSuite(exp.Options{Scale: *scale, Seed: *seed, Workers: *workers, MaxCycles: *maxCycles})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "exps: %v\n", err)
+		os.Exit(2)
+	}
 
 	prog := exp.Progress{
 		Experiment: func(done, total int, res exp.ExperimentResult) {
@@ -158,6 +197,11 @@ func main() {
 		cacheNote := "cache off"
 		if st, ok := suite.CacheStats(); ok {
 			cacheNote = fmt.Sprintf("cache %d hits / %d misses / %d writes", st.Hits, st.Misses, st.Writes)
+			if st.WriteErrors > 0 {
+				// Advisory but not silent: a failing store costs every
+				// future run its hits, so the operator must see it.
+				cacheNote += fmt.Sprintf(" / %d write errors", st.WriteErrors)
+			}
 		}
 		fmt.Fprintf(os.Stderr, "exps: %d experiments (%d failed), %d simulations (%d failed configs), %d workers, %s, %.1fs total\n",
 			len(rs.Experiments), rs.Failed, rs.Simulations, rs.FailedSims, rs.Workers, cacheNote, rs.WallSeconds)

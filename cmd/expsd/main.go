@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	expsd [-addr :8344] [-j N] [-max-jobs N]
+//	expsd [-addr :8344] [-j N] [-max-jobs N] [-peers URL[,URL...]]
 //	      [-cache-dir DIR] [-no-cache] [-fingerprint]
 //
 // All jobs share one worker pool (-j bounds simulations in flight
@@ -25,6 +25,16 @@
 //	curl -s :8344/v1/jobs/job-1               # status + per-config errors
 //	curl -s ':8344/v1/jobs/job-1/results?format=csv'
 //
+// Every expsd is also a worker: POST /v1/sims executes one simulation
+// config through the shared pool and cache and returns the encoded
+// result. With -peers, expsd additionally acts as a coordinator — its
+// jobs shard simulations across the listed worker expsd processes by
+// config key (keeping each worker's cache hot on its share), failing
+// over to local execution when a config's home worker is down. A
+// worker on a different simulator version answers 409 and its results
+// never mix in. Job views still report exact per-job counts, with
+// "simulations" meaning local executions only.
+//
 // SIGINT/SIGTERM shut the listener down gracefully and cancel
 // simulations not yet started; completed results are already on disk.
 package main
@@ -43,6 +53,7 @@ import (
 
 	"mediasmt/internal/cache"
 	"mediasmt/internal/cliflags"
+	"mediasmt/internal/dist"
 	"mediasmt/internal/exp"
 	"mediasmt/internal/serve"
 )
@@ -51,6 +62,8 @@ func main() {
 	addr := flag.String("addr", ":8344", "listen address")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrently running simulations across all jobs (0 = GOMAXPROCS)")
 	maxJobs := flag.Int("max-jobs", serve.DefaultMaxJobs, "max retained jobs; oldest settled jobs are evicted, a store full of running jobs refuses submissions")
+	peersFlag := flag.String("peers", "", "comma-separated worker expsd URLs; simulations shard across them by config key with local failover")
+	peerTimeout := flag.Duration("peer-timeout", dist.DefaultRequestTimeout, "per-request timeout against a -peers worker")
 	cacheDir := flag.String("cache-dir", cache.DefaultDir(), "on-disk result cache directory ('' disables)")
 	noCache := flag.Bool("no-cache", false, "disable the on-disk result cache")
 	fingerprint := flag.Bool("fingerprint", false, "print the cache fingerprint (cache format + simulator version), then exit")
@@ -75,7 +88,24 @@ func main() {
 		store = nil
 	}
 
-	runner := exp.NewRunner(*workers, store)
+	var runner *exp.Runner
+	poolNote := "local pool"
+	if *peersFlag != "" {
+		urls, err := cliflags.Peers("-peers", *peersFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expsd: %v\n", err)
+			os.Exit(2)
+		}
+		pool, err := dist.NewPool(urls, dist.RemoteOptions{Timeout: *peerTimeout}, dist.NewLocal(*workers))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expsd: %v\n", err)
+			os.Exit(2)
+		}
+		runner = exp.NewRunnerExecutor(pool, store)
+		poolNote = fmt.Sprintf("%d peers + local failover", len(urls))
+	} else {
+		runner = exp.NewRunner(*workers, store)
+	}
 	srv := serve.New(serve.Config{Runner: runner, MaxJobs: *maxJobs})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -89,8 +119,8 @@ func main() {
 	if store != nil {
 		cacheNote = "cache " + store.Dir()
 	}
-	fmt.Fprintf(os.Stderr, "expsd: listening on %s (%d workers, %d max jobs, %s, %s)\n",
-		*addr, runner.Workers(), *maxJobs, cacheNote, cache.Fingerprint())
+	fmt.Fprintf(os.Stderr, "expsd: listening on %s (%d workers, %s, %d max jobs, %s, %s)\n",
+		*addr, runner.Workers(), poolNote, *maxJobs, cacheNote, cache.Fingerprint())
 
 	select {
 	case err := <-errCh:

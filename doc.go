@@ -41,6 +41,18 @@
 // offending config keys in its status view while every unaffected
 // experiment still renders.
 //
+// Where a simulation runs is a pluggable policy (internal/dist):
+// every expsd is a worker (POST /v1/sims executes one config through
+// its pool and cache), `exps -remote URL[,URL...]` coordinates a run
+// whose simulations all execute on the workers — the coordinator
+// honestly reports 0 local simulations while rendering tables
+// byte-identical to a local run — and `expsd -peers` shards each
+// job's simulations across workers by config key with failover to
+// local execution when a peer is down. Version skew is refused (409
+// on fingerprint mismatch), peer failures retry elsewhere, and a
+// simulation's own failure is never retried — it partitions onto its
+// experiments exactly like a local failure.
+//
 // See README.md for the package layout, cmd/exps for regenerating
 // every table and figure (deduplicated and fanned out over a worker
 // pool), cmd/expsd for the HTTP service, and examples/ for runnable

@@ -61,6 +61,12 @@ type Stats struct {
 	Hits   int64 // Get found a valid entry
 	Misses int64 // Get found nothing usable (absent, corrupt, or mislabelled)
 	Writes int64 // Put persisted an entry
+	// WriteErrors counts Puts that failed. Put errors are advisory —
+	// the scheduler writes behind and a failed write only costs a
+	// future hit — but a persistently failing store (full disk, bad
+	// permissions) would otherwise fail silently forever; front-ends
+	// surface this count so the operator finds out.
+	WriteErrors int64
 }
 
 // Cache is an open handle on one fingerprint's slice of the store. It
@@ -71,9 +77,10 @@ type Cache struct {
 	fp    string // this handle's fingerprint
 	fpDir string // dir/<hash of fp>
 
-	hits   atomic.Int64
-	misses atomic.Int64
-	writes atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	writes    atomic.Int64
+	writeErrs atomic.Int64
 }
 
 // tmpPrefix marks in-flight Put temp files; Prune recognizes (and
@@ -128,7 +135,12 @@ func (c *Cache) Fingerprint() string { return c.fp }
 
 // Stats snapshots the activity counters.
 func (c *Cache) Stats() Stats {
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Writes: c.writes.Load()}
+	return Stats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Writes:      c.writes.Load(),
+		WriteErrors: c.writeErrs.Load(),
+	}
 }
 
 // hashName maps an arbitrary string to a fixed-length, path-safe name.
@@ -185,8 +197,17 @@ func (c *Cache) Get(key string) (*sim.Result, bool) {
 // file in the destination directory and renamed into place, so readers
 // and concurrent writers never observe a partial entry and the last
 // writer wins. Callers may treat errors as advisory — a failed write
-// only costs a future hit.
+// only costs a future hit — but every failure is tallied in
+// Stats.WriteErrors so silent persistence loss stays visible.
 func (c *Cache) Put(key string, r *sim.Result) error {
+	err := c.put(key, r)
+	if err != nil {
+		c.writeErrs.Add(1)
+	}
+	return err
+}
+
+func (c *Cache) put(key string, r *sim.Result) error {
 	body, err := sim.EncodeResult(r)
 	if err != nil {
 		return fmt.Errorf("cache: %w", err)

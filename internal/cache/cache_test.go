@@ -408,3 +408,28 @@ func TestOpenIfEnabled(t *testing.T) {
 		t.Error("unusable dir must error so callers can warn")
 	}
 }
+
+// TestPutErrorCountsWriteError: a failed Put — here a nil result that
+// cannot encode — must land in Stats.WriteErrors, the advisory count
+// front-ends surface so persistence loss never stays silent.
+func TestPutErrorCountsWriteError(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k", nil); err == nil {
+		t.Fatal("Put(nil result) succeeded")
+	}
+	st := c.Stats()
+	if st.WriteErrors != 1 || st.Writes != 0 {
+		t.Errorf("stats = %+v, want 1 write error and 0 writes", st)
+	}
+	// A healthy Put counts a write, not an error.
+	if err := c.Put("k", &sim.Result{Cfg: sim.Config{Threads: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.Writes != 1 || st.WriteErrors != 1 {
+		t.Errorf("stats after healthy Put = %+v, want 1 write and still 1 write error", st)
+	}
+}

@@ -15,6 +15,8 @@ package cliflags
 
 import (
 	"fmt"
+	"net/url"
+	"strings"
 
 	"mediasmt/internal/sim"
 )
@@ -53,6 +55,41 @@ func MaxCycles(name string, v int64) error {
 		return fmt.Errorf("negative %s %d (want > 0, or 0 for the simulator default)", name, v)
 	}
 	return nil
+}
+
+// Peers parses and validates a comma-separated list of worker expsd
+// base URLs (exps -remote, expsd -peers). Every element must be an
+// absolute http or https URL with a host; trailing slashes are
+// stripped so the dist executors can append their endpoint paths. An
+// empty list is refused — a coordinator flag with no workers behind
+// it is a configuration mistake, not local mode.
+func Peers(name, v string) ([]string, error) {
+	if strings.TrimSpace(v) == "" {
+		return nil, fmt.Errorf("empty %s (want comma-separated worker URLs, e.g. http://host:8344)", name)
+	}
+	parts := strings.Split(v, ",")
+	out := make([]string, 0, len(parts))
+	for _, raw := range parts {
+		p := strings.TrimSpace(raw)
+		if p == "" {
+			return nil, fmt.Errorf("%s has an empty element in %q (want comma-separated worker URLs)", name, v)
+		}
+		u, err := url.Parse(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %q: %v", name, p, err)
+		}
+		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("%s: %q is not an http(s) worker URL (want e.g. http://host:8344)", name, p)
+		}
+		// The executors append endpoint paths to the base URL, so a
+		// query or fragment would silently corrupt every request URL;
+		// refuse it here as a usage error instead.
+		if u.RawQuery != "" || u.Fragment != "" {
+			return nil, fmt.Errorf("%s: %q must be a base worker URL without query or fragment", name, p)
+		}
+		out = append(out, strings.TrimRight(p, "/"))
+	}
+	return out, nil
 }
 
 // Threads rejects hardware context counts outside the paper's

@@ -71,3 +71,35 @@ func TestNameReachesMessage(t *testing.T) {
 		t.Errorf("Scale with JSON-style name leaked a flag name: %v", err)
 	}
 }
+
+func TestPeers(t *testing.T) {
+	good := []struct {
+		in   string
+		want []string
+	}{
+		{"http://h:8344", []string{"http://h:8344"}},
+		{"http://a:1/, https://b:2", []string{"http://a:1", "https://b:2"}},
+		{" http://a:1 ,http://b:2 ", []string{"http://a:1", "http://b:2"}},
+	}
+	for _, tc := range good {
+		got, err := Peers("-peers", tc.in)
+		if err != nil {
+			t.Errorf("Peers(%q) = %v, want ok", tc.in, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("Peers(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("Peers(%q)[%d] = %q, want %q", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+	for _, in := range []string{"", "  ", "http://a:1,,http://b:2", "ftp://a:1", "host:8344", "/just/a/path", "http://", "http://h:1?x=1", "http://h:1#frag"} {
+		if _, err := Peers("-peers", in); err == nil || !strings.Contains(err.Error(), "-peers") {
+			t.Errorf("Peers(%q) = %v, want error naming -peers", in, err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+
+	"mediasmt/internal/sim"
+)
+
+// Pool shards simulations across N worker peers by config-key hash —
+// every coordinator sends the same key to the same peer, keeping the
+// peers' singleflight maps and caches hot — and fails over to local
+// execution when a config's home peer is down. Simulation failures
+// (the peer ran the config and it failed) do not fail over: they are
+// deterministic, and retrying locally would only pay for the same
+// error twice.
+type Pool struct {
+	peers   []*Remote // one single-peer Remote per worker, in shard order
+	local   *Local
+	workers int
+}
+
+// NewPool builds a sharding executor over the worker base URLs with
+// local as the failover pool (nil means a GOMAXPROCS-sized one). The
+// options apply to each peer individually, so RemoteOptions.Workers
+// is a per-peer bound.
+func NewPool(peerURLs []string, o RemoteOptions, local *Local) (*Pool, error) {
+	if len(peerURLs) == 0 {
+		return nil, fmt.Errorf("dist: pool needs at least one worker peer")
+	}
+	if local == nil {
+		local = NewLocal(0)
+	}
+	peers := make([]*Remote, len(peerURLs))
+	total := local.Workers()
+	for i, u := range peerURLs {
+		rem, err := NewRemote([]string{u}, o)
+		if err != nil {
+			return nil, err
+		}
+		peers[i] = rem
+		total += rem.Workers()
+	}
+	return &Pool{peers: peers, local: local, workers: total}, nil
+}
+
+// Execute routes cfg to its home peer and falls back to local
+// execution on peer failure (down, timeout, fingerprint mismatch). A
+// cancelled ctx is returned as-is — failover must not outlive the
+// caller.
+func (p *Pool) Execute(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+	cfg = cfg.Normalize()
+	if forwardingDisabled(ctx) {
+		// The config already crossed its one allowed forwarding hop
+		// (see NoForward): this daemon is its final stop.
+		return p.local.Execute(ctx, cfg)
+	}
+	idx := int(hashKey(cfg.Key()) % uint64(len(p.peers)))
+	res, err := p.peers[idx].Execute(ctx, cfg)
+	if err == nil {
+		return res, nil
+	}
+	if !retryable(err) || ctx.Err() != nil {
+		return nil, err
+	}
+	return p.local.Execute(ctx, cfg)
+}
+
+// Workers reports the combined concurrency: every peer's plus the
+// local failover pool's.
+func (p *Pool) Workers() int { return p.workers }
+
+// Simulations counts only local (failover) executions; sharded work
+// counts on the peer that ran it.
+func (p *Pool) Simulations() int64 { return p.local.Simulations() }
+
+// Limit derives a per-caller view: the peers are stateless and
+// shared, the local pool is re-derived so the view counts its own
+// failover executions.
+func (p *Pool) Limit(n int) Executor {
+	if n <= 0 || n > p.workers {
+		n = p.workers
+	}
+	return &Pool{peers: p.peers, local: p.local.limited(0), workers: n}
+}

@@ -1,0 +1,270 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"mediasmt/internal/cache"
+	"mediasmt/internal/sim"
+)
+
+const (
+	// SimsPath is the worker endpoint Remote POSTs one encoded
+	// sim.Config to; the worker answers with sim.EncodeResult bytes.
+	SimsPath = "/v1/sims"
+	// FingerprintHeader carries the coordinator's cache fingerprint
+	// (cache format + simulator version). A worker whose fingerprint
+	// differs refuses with 409: results from mismatched simulator
+	// versions must never silently mix into one result set.
+	FingerprintHeader = "X-Mediasmt-Fingerprint"
+	// ForwardedHeader marks a request that already crossed one
+	// coordinator→worker hop. The worker endpoint turns it into a
+	// NoForward context so a daemon that is itself peered (two expsd
+	// -peers pointing at each other) executes the simulation locally
+	// instead of bouncing it back — without this, a mutual-peer mesh
+	// would recurse a single config between daemons until both
+	// exhaust sockets and goroutines.
+	ForwardedHeader = "X-Mediasmt-Forwarded"
+	// DefaultRequestTimeout bounds one worker request. Full-scale
+	// simulations queue behind the worker's pool, so the default is
+	// generous; coordinators running reduced scales may tighten it.
+	DefaultRequestTimeout = 10 * time.Minute
+	// DefaultWorkersPerPeer sizes a Remote's advertised concurrency
+	// when RemoteOptions.Workers is zero: requests are I/O-bound on
+	// the coordinator, so a few in flight per peer keeps the peer's
+	// own pool busy without flooding it.
+	DefaultWorkersPerPeer = 4
+	// maxResponseBody bounds a worker response; an encoded result is
+	// a few KB, so anything larger is a misbehaving peer.
+	maxResponseBody = 8 << 20
+)
+
+// RemoteOptions tunes a Remote (and, through NewPool, each of a
+// Pool's peers). The zero value is usable.
+type RemoteOptions struct {
+	// Client issues the requests; nil uses a private default client.
+	Client *http.Client
+	// Timeout bounds each worker request (queueing on the worker
+	// included); 0 means DefaultRequestTimeout.
+	Timeout time.Duration
+	// Workers is the advertised concurrency; 0 means
+	// DefaultWorkersPerPeer per peer.
+	Workers int
+	// Fingerprint overrides the FingerprintHeader value; "" means the
+	// current cache.Fingerprint(). Tests use it to emulate version
+	// skew.
+	Fingerprint string
+}
+
+// Remote executes simulations on worker expsd processes: it POSTs the
+// config to one peer's /v1/sims endpoint — chosen by config-key hash
+// so repeated keys land on the same warm peer — and retries the
+// remaining peers when that peer cannot serve the request. A failure
+// of the simulation itself (the worker ran it and it failed) is
+// returned as-is without retrying: it is deterministic and would fail
+// everywhere.
+type Remote struct {
+	peers   []string
+	client  *http.Client
+	timeout time.Duration
+	fp      string
+	workers int
+}
+
+// NewRemote builds a remote executor over one or more worker base
+// URLs (e.g. "http://sim-worker-0:8344").
+func NewRemote(peers []string, o RemoteOptions) (*Remote, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("dist: no worker peers")
+	}
+	cleaned := make([]string, len(peers))
+	for i, p := range peers {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p == "" {
+			return nil, fmt.Errorf("dist: empty worker peer URL")
+		}
+		cleaned[i] = p
+	}
+	client := o.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	timeout := o.Timeout
+	if timeout <= 0 {
+		timeout = DefaultRequestTimeout
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = DefaultWorkersPerPeer * len(cleaned)
+	}
+	fp := o.Fingerprint
+	if fp == "" {
+		fp = cache.Fingerprint()
+	}
+	return &Remote{peers: cleaned, client: client, timeout: timeout, fp: fp, workers: workers}, nil
+}
+
+// SimFailure reports that a worker executed the simulation and the
+// simulation itself failed. It is not a peer problem: retrying on
+// another peer (or locally) would deterministically fail again, so
+// Remote and Pool surface it directly as the config's error.
+type SimFailure struct {
+	Peer string
+	Msg  string
+}
+
+func (e *SimFailure) Error() string { return e.Msg }
+
+// PeerError reports that a peer could not serve a request: transport
+// failure, timeout, fingerprint mismatch (Status 409), or any other
+// non-OK answer. Peer errors are retryable on another peer and, in a
+// Pool, fail over to local execution.
+type PeerError struct {
+	Peer   string
+	Status int // 0 when the request never got an HTTP answer
+	Err    error
+}
+
+func (e *PeerError) Error() string {
+	if e.Err != nil {
+		if e.Status != 0 {
+			return fmt.Sprintf("peer %s: status %d: %v", e.Peer, e.Status, e.Err)
+		}
+		return fmt.Sprintf("peer %s: %v", e.Peer, e.Err)
+	}
+	return fmt.Sprintf("peer %s: unexpected status %d", e.Peer, e.Status)
+}
+
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// retryable reports whether err might resolve on a different
+// executor: simulation failures are deterministic, everything else is
+// the peer's problem.
+func retryable(err error) bool {
+	var sf *SimFailure
+	return !errors.As(err, &sf)
+}
+
+// Execute posts cfg to the key's home peer, walking the remaining
+// peers on peer failure. All peers failing yields an error joining
+// every attempt, so a partial-failure report names each unreachable
+// worker.
+func (r *Remote) Execute(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+	if forwardingDisabled(ctx) {
+		// A remote-only executor on a worker would just bounce the
+		// request onward; refuse so the caller's failover (or the
+		// coordinator's retry) handles it instead of looping.
+		return nil, fmt.Errorf("dist: refusing to re-forward an already-forwarded simulation")
+	}
+	cfg = cfg.Normalize()
+	body, err := sim.EncodeConfig(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
+	}
+	start := 0
+	if len(r.peers) > 1 {
+		start = int(hashKey(cfg.Key()) % uint64(len(r.peers)))
+	}
+	var attempts []error
+	for i := range r.peers {
+		peer := r.peers[(start+i)%len(r.peers)]
+		res, err := r.post(ctx, peer, body)
+		if err == nil {
+			return res, nil
+		}
+		if !retryable(err) {
+			return nil, err
+		}
+		attempts = append(attempts, err)
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if len(attempts) == 1 {
+		return nil, attempts[0]
+	}
+	return nil, fmt.Errorf("dist: all %d peers failed: %w", len(r.peers), errors.Join(attempts...))
+}
+
+// post issues one worker request under the per-request timeout.
+func (r *Remote) post(ctx context.Context, peer string, body []byte) (*sim.Result, error) {
+	rctx, cancel := context.WithTimeout(ctx, r.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, peer+SimsPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, &PeerError{Peer: peer, Err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(FingerprintHeader, r.fp)
+	req.Header.Set(ForwardedHeader, "1")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, &PeerError{Peer: peer, Err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBody))
+	if err != nil {
+		return nil, &PeerError{Peer: peer, Status: resp.StatusCode, Err: err}
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		res, err := sim.DecodeResult(data)
+		if err != nil {
+			return nil, &PeerError{Peer: peer, Status: resp.StatusCode, Err: err}
+		}
+		return res, nil
+	case http.StatusUnprocessableEntity:
+		return nil, &SimFailure{Peer: peer, Msg: errorBody(data)}
+	default:
+		return nil, &PeerError{Peer: peer, Status: resp.StatusCode, Err: errors.New(errorBody(data))}
+	}
+}
+
+// errorBody extracts the service's {"error": ...} message, falling
+// back to the (truncated) raw body for non-JSON answers.
+func errorBody(data []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	const max = 256
+	s := strings.TrimSpace(string(data))
+	if len(s) > max {
+		s = s[:max] + "..."
+	}
+	if s == "" {
+		s = "empty response body"
+	}
+	return s
+}
+
+// Peers reports the worker base URLs in shard order.
+func (r *Remote) Peers() []string { return append([]string(nil), r.peers...) }
+
+// Workers reports the advertised request concurrency.
+func (r *Remote) Workers() int { return r.workers }
+
+// Simulations is always zero: remote executions count on the worker
+// that ran them, which is exactly what lets a coordinator prove it
+// ran nothing locally.
+func (r *Remote) Simulations() int64 { return 0 }
+
+// Limit derives a view with a tighter advertised concurrency; Remote
+// holds no per-view state, so out-of-range n returns the receiver.
+func (r *Remote) Limit(n int) Executor {
+	if n <= 0 || n >= r.workers {
+		return r
+	}
+	view := *r
+	view.workers = n
+	return &view
+}

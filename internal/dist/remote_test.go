@@ -1,0 +1,349 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mediasmt/internal/cache"
+	"mediasmt/internal/sim"
+)
+
+// workerStub is an httptest worker speaking the /v1/sims wire format:
+// it checks the fingerprint header, decodes the config and answers
+// with a stub result (or whatever behavior the test injects).
+func workerStub(t *testing.T, behavior func(w http.ResponseWriter, cfg sim.Config) bool) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != SimsPath || r.Method != http.MethodPost {
+			t.Errorf("worker got %s %s, want POST %s", r.Method, r.URL.Path, SimsPath)
+			http.Error(w, "bad route", http.StatusNotFound)
+			return
+		}
+		if got := r.Header.Get(FingerprintHeader); got != cache.Fingerprint() {
+			t.Errorf("request fingerprint %q, want %q", got, cache.Fingerprint())
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		cfg, err := sim.DecodeConfig(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if behavior != nil && behavior(w, cfg) {
+			return
+		}
+		data, err := sim.EncodeResult(stubResult(cfg))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(data)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRemoteRoundTrip: a healthy peer returns a decodable result, and
+// the coordinator-side Simulations() stays 0 — the execution belongs
+// to the worker.
+func TestRemoteRoundTrip(t *testing.T) {
+	ts := workerStub(t, nil)
+	r, err := NewRemote([]string{ts.URL}, RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(2)
+	res, err := r.Execute(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 42 || res.Cfg.Key() != cfg.Key() {
+		t.Errorf("round-tripped result wrong: %+v", res)
+	}
+	if r.Simulations() != 0 {
+		t.Error("remote executor claimed local simulations")
+	}
+}
+
+// TestRemoteRetriesOnOtherPeer: a peer answering 500 must not fail the
+// config while another peer can serve it.
+func TestRemoteRetriesOnOtherPeer(t *testing.T) {
+	var badHits atomic.Int64
+	bad := workerStub(t, func(w http.ResponseWriter, cfg sim.Config) bool {
+		badHits.Add(1)
+		http.Error(w, `{"error":"worker exploded"}`, http.StatusInternalServerError)
+		return true
+	})
+	good := workerStub(t, nil)
+	// Both orders must succeed regardless of which peer the key hashes
+	// to first.
+	r, err := NewRemote([]string{bad.URL, good.URL}, RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for threads := 1; threads <= 8; threads *= 2 {
+		if _, err := r.Execute(context.Background(), testConfig(threads)); err != nil {
+			t.Fatalf("threads=%d: retry on other peer failed: %v", threads, err)
+		}
+	}
+}
+
+// TestRemoteTimeoutFailsOver: a peer hanging past the per-request
+// timeout is a peer failure — the next peer serves the config.
+func TestRemoteTimeoutFailsOver(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	hang := workerStub(t, func(w http.ResponseWriter, cfg sim.Config) bool {
+		<-release
+		return true
+	})
+	good := workerStub(t, nil)
+	r, err := NewRemote([]string{hang.URL, good.URL}, RemoteOptions{Timeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for threads := 1; threads <= 8; threads *= 2 {
+		if _, err := r.Execute(context.Background(), testConfig(threads)); err != nil {
+			t.Fatalf("threads=%d: timeout did not fail over: %v", threads, err)
+		}
+	}
+}
+
+// TestRemoteAllPeersDown: with every peer failing, the error names
+// each attempt and is a peer failure (retryable elsewhere, e.g. by a
+// Pool's local fallback).
+func TestRemoteAllPeersDown(t *testing.T) {
+	down := workerStub(t, func(w http.ResponseWriter, cfg sim.Config) bool {
+		http.Error(w, `{"error":"busy"}`, http.StatusServiceUnavailable)
+		return true
+	})
+	r, err := NewRemote([]string{down.URL, "http://127.0.0.1:1"}, RemoteOptions{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Execute(context.Background(), testConfig(1))
+	if err == nil {
+		t.Fatal("all peers down must error")
+	}
+	if !retryable(err) {
+		t.Error("peer failure must stay retryable")
+	}
+	if !strings.Contains(err.Error(), "busy") {
+		t.Errorf("error does not carry the peer's message: %v", err)
+	}
+}
+
+// TestRemoteFingerprint409: a worker on a different simulator version
+// refuses with 409; the coordinator surfaces a PeerError carrying the
+// status, never a silently mixed result.
+func TestRemoteFingerprint409(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"fingerprint mismatch"}`, http.StatusConflict)
+	}))
+	t.Cleanup(ts.Close)
+	r, err := NewRemote([]string{ts.URL}, RemoteOptions{Fingerprint: "cachefmt-v0+older-sim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Execute(context.Background(), testConfig(1))
+	var pe *PeerError
+	if !errors.As(err, &pe) || pe.Status != http.StatusConflict {
+		t.Fatalf("err = %v, want PeerError with status 409", err)
+	}
+}
+
+// TestRemoteSimFailureDoesNotRetry: a 422 means the worker ran the
+// simulation and it failed — deterministic, so no other peer is
+// tried and the error is not retryable.
+func TestRemoteSimFailureDoesNotRetry(t *testing.T) {
+	var hits atomic.Int64
+	failing := workerStub(t, func(w http.ResponseWriter, cfg sim.Config) bool {
+		hits.Add(1)
+		http.Error(w, `{"error":"sim: hit MaxCycles=1000 with 3/8 programs complete"}`, http.StatusUnprocessableEntity)
+		return true
+	})
+	second := workerStub(t, func(w http.ResponseWriter, cfg sim.Config) bool {
+		t.Error("simulation failure must not be retried on another peer")
+		return false
+	})
+	// The failing peer must be first in the rotation for every test
+	// key; pin that by only listing it (the second peer exists to
+	// catch accidental retries through a fresh Remote).
+	r, err := NewRemote([]string{failing.URL}, RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Execute(context.Background(), testConfig(1))
+	var sf *SimFailure
+	if !errors.As(err, &sf) {
+		t.Fatalf("err = %v, want SimFailure", err)
+	}
+	if !strings.Contains(err.Error(), "MaxCycles") {
+		t.Errorf("simulation error text lost: %v", err)
+	}
+	if retryable(err) {
+		t.Error("SimFailure must not be retryable")
+	}
+	r2, err := NewRemote([]string{failing.URL, second.URL}, RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a config whose home peer is the failing one, then assert no
+	// second request happens.
+	for threads := 1; threads <= 8; threads *= 2 {
+		cfg := testConfig(threads)
+		if int(hashKey(cfg.Normalize().Key())%2) == 0 {
+			before := hits.Load()
+			if _, err := r2.Execute(context.Background(), cfg); err == nil {
+				t.Fatal("want simulation failure")
+			}
+			if hits.Load() != before+1 {
+				t.Fatalf("failing peer hit %d times for one config", hits.Load()-before)
+			}
+			return
+		}
+	}
+	t.Skip("no test config hashes onto peer 0")
+}
+
+// TestPoolShardsAndFailsOver: configs shard deterministically across
+// peers; when a config's home peer is down the Pool executes locally
+// and counts it, and simulation failures pass through without local
+// retry.
+func TestPoolShardsAndFailsOver(t *testing.T) {
+	good := workerStub(t, nil)
+	stubLocal := func() *Local {
+		return NewLocalFunc(2, func(cfg sim.Config) (*sim.Result, error) { return stubResult(cfg), nil })
+	}
+
+	// All peers healthy: everything executes remotely.
+	p, err := NewPool([]string{good.URL}, RemoteOptions{}, stubLocal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute(context.Background(), testConfig(1)); err != nil {
+		t.Fatal(err)
+	}
+	if p.Simulations() != 0 {
+		t.Errorf("healthy pool executed %d locally, want 0", p.Simulations())
+	}
+
+	// Home peer down: local failover executes and is counted.
+	pDown, err := NewPool([]string{"http://127.0.0.1:1"}, RemoteOptions{Timeout: 2 * time.Second}, stubLocal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pDown.Execute(context.Background(), testConfig(2)); err != nil {
+		t.Fatalf("failover to local failed: %v", err)
+	}
+	if pDown.Simulations() != 1 {
+		t.Errorf("failover pool counted %d local simulations, want 1", pDown.Simulations())
+	}
+
+	// Simulation failure: no local retry, error surfaces as-is.
+	simFail := workerStub(t, func(w http.ResponseWriter, cfg sim.Config) bool {
+		http.Error(w, `{"error":"sim: hit MaxCycles"}`, http.StatusUnprocessableEntity)
+		return true
+	})
+	pFail, err := NewPool([]string{simFail.URL}, RemoteOptions{}, stubLocal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = pFail.Execute(context.Background(), testConfig(4))
+	var sf *SimFailure
+	if !errors.As(err, &sf) {
+		t.Fatalf("err = %v, want the worker's SimFailure (no local retry)", err)
+	}
+	if pFail.Simulations() != 0 {
+		t.Error("simulation failure must not fail over to local execution")
+	}
+}
+
+// TestPoolLimitViews: per-caller views share peers and local slots but
+// keep their own failover counters — what keeps per-job counts exact
+// when internal/serve shares one Pool across jobs.
+func TestPoolLimitViews(t *testing.T) {
+	local := NewLocalFunc(2, func(cfg sim.Config) (*sim.Result, error) { return stubResult(cfg), nil })
+	p, err := NewPool([]string{"http://127.0.0.1:1"}, RemoteOptions{Timeout: time.Second}, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, ok := p.Limit(1).(*Pool)
+	if !ok {
+		t.Fatal("Limit did not return a *Pool view")
+	}
+	if view.Workers() != 1 {
+		t.Errorf("view workers %d, want 1", view.Workers())
+	}
+	if _, err := view.Execute(context.Background(), testConfig(1)); err != nil {
+		t.Fatal(err)
+	}
+	if view.Simulations() != 1 || p.Simulations() != 0 {
+		t.Errorf("view counted %d, base counted %d; want 1 and 0", view.Simulations(), p.Simulations())
+	}
+}
+
+// TestNoForwardTerminatesAtThisProcess: under a NoForward context —
+// what the worker endpoint applies to already-forwarded requests — a
+// Pool must execute locally without touching any peer, and a Remote
+// must refuse rather than bounce the simulation onward. This is the
+// loop guard for daemons peered at each other.
+func TestNoForwardTerminatesAtThisProcess(t *testing.T) {
+	peer := workerStub(t, func(w http.ResponseWriter, cfg sim.Config) bool {
+		t.Error("forwarded simulation reached a peer again")
+		return false
+	})
+	local := NewLocalFunc(1, func(cfg sim.Config) (*sim.Result, error) { return stubResult(cfg), nil })
+	p, err := NewPool([]string{peer.URL}, RemoteOptions{}, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NoForward(context.Background())
+	if _, err := p.Execute(ctx, testConfig(1)); err != nil {
+		t.Fatalf("no-forward pool execution failed: %v", err)
+	}
+	if p.Simulations() != 1 {
+		t.Errorf("no-forward execution not counted locally: %d", p.Simulations())
+	}
+
+	r, err := NewRemote([]string{peer.URL}, RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Execute(ctx, testConfig(1)); err == nil || !strings.Contains(err.Error(), "re-forward") {
+		t.Errorf("remote under NoForward returned %v, want a refusal", err)
+	}
+}
+
+// TestNewRemoteValidation: constructor edges.
+func TestNewRemoteValidation(t *testing.T) {
+	if _, err := NewRemote(nil, RemoteOptions{}); err == nil {
+		t.Error("no peers must error")
+	}
+	if _, err := NewRemote([]string{"  "}, RemoteOptions{}); err == nil {
+		t.Error("blank peer must error")
+	}
+	r, err := NewRemote([]string{"http://h:1/", "http://h:2"}, RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Peers(); got[0] != "http://h:1" {
+		t.Errorf("trailing slash not stripped: %q", got[0])
+	}
+	if r.Workers() != 2*DefaultWorkersPerPeer {
+		t.Errorf("default workers %d, want %d per peer", r.Workers(), DefaultWorkersPerPeer)
+	}
+	if _, err := NewPool(nil, RemoteOptions{}, nil); err == nil {
+		t.Error("peerless pool must error")
+	}
+}

@@ -41,7 +41,9 @@ type Options struct {
 	// writes fresh results behind. Results are keyed on the same
 	// canonical sim.Config.Key() as the in-memory singleflight map, so
 	// a second suite over a warm cache executes zero simulations while
-	// rendering byte-identical artifacts.
+	// rendering byte-identical artifacts. Only the package-level
+	// NewSuite consumes it; Runner.NewSuite rejects any store other
+	// than the runner's own instead of silently dropping it.
 	Cache *cache.Cache
 }
 
@@ -64,7 +66,13 @@ type Suite struct {
 // silently coerced here. Long-lived multi-job callers share one
 // Runner and derive a suite per job with Runner.NewSuite instead.
 func NewSuite(opts Options) *Suite {
-	return NewRunner(opts.Workers, opts.Cache).NewSuite(opts)
+	s, err := NewRunner(opts.Workers, opts.Cache).NewSuite(opts)
+	if err != nil {
+		// Unreachable: the runner was just built over opts.Cache, so
+		// the store-conflict rejection cannot trip.
+		panic(err)
+	}
+	return s
 }
 
 // Config builds the full simulation config for the suite's scale and

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"mediasmt/internal/core"
+	"mediasmt/internal/dist"
 	"mediasmt/internal/mem"
 	"mediasmt/internal/sim"
 )
@@ -160,12 +161,12 @@ func TestSchedulerRetryAfterTransientError(t *testing.T) {
 	s := NewSuite(Options{Scale: 0.05, Seed: 7, Workers: 2})
 	var calls atomic.Int32
 	realExec := s.sched.exec
-	s.sched.exec = func(cfg sim.Config) (*sim.Result, error) {
+	s.sched.exec = dist.Func(2, func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
 		if calls.Add(1) == 1 {
 			return nil, errors.New("transient executor failure")
 		}
-		return realExec(cfg)
-	}
+		return realExec.Execute(ctx, cfg)
+	})
 	cfg := s.Config(core.ISAMMX, 1, core.PolicyRR, mem.ModeIdeal)
 	if _, err := s.RunConfig(cfg); err == nil || !strings.Contains(err.Error(), "transient") {
 		t.Fatalf("first call returned err=%v, want transient failure", err)

@@ -1,50 +1,64 @@
 package exp
 
 import (
-	"runtime"
+	"fmt"
 	"sync/atomic"
 
 	"mediasmt/internal/cache"
+	"mediasmt/internal/dist"
 	"mediasmt/internal/sim"
 )
 
 // Runner owns the resources concurrent experiment runs share: the
-// worker pool bounding simulations in flight and the optional
-// persistent result store. It is safe for concurrent use — the HTTP
-// service (internal/serve) runs every job through one Runner, so the
-// pool bound holds across jobs and every job reads through the same
-// on-disk cache, while each job keeps its own singleflight map,
-// simulation counter and cache statistics. The CLI path is the same
-// code: NewSuite builds a private single-use Runner.
+// executor deciding where (and how concurrently) simulations run and
+// the optional persistent result store. It is safe for concurrent use
+// — the HTTP service (internal/serve) runs every job through one
+// Runner, so the executor's capacity bound holds across jobs and every
+// job reads through the same on-disk cache, while each job keeps its
+// own singleflight map, simulation counter and cache statistics. The
+// CLI path is the same code: NewSuite builds a private single-use
+// Runner; a coordinator front-end (exps -remote, expsd -peers) builds
+// the Runner over a dist.Remote or dist.Pool instead.
 type Runner struct {
-	sem   chan struct{} // shared execution slots; cap is the pool size
+	exec  dist.Executor // shared execution policy; Limit-derived per suite
 	cache *cache.Cache  // shared persistent layer; nil runs uncached
 }
 
-// NewRunner builds a runner with the given pool size (0 or negative
-// means GOMAXPROCS) over store (nil disables persistence).
+// NewRunner builds a runner executing locally with the given pool
+// size (0 or negative means GOMAXPROCS) over store (nil disables
+// persistence).
 func NewRunner(workers int, store *cache.Cache) *Runner {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	return &Runner{sem: make(chan struct{}, workers), cache: store}
+	return NewRunnerExecutor(dist.NewLocal(workers), store)
 }
 
-// Workers reports the shared pool size.
-func (r *Runner) Workers() int { return cap(r.sem) }
+// NewRunnerExecutor builds a runner over an explicit executor —
+// dist.NewLocal for in-process pools, dist.NewRemote to coordinate
+// worker expsd processes, dist.NewPool to shard across workers with
+// local failover.
+func NewRunnerExecutor(exec dist.Executor, store *cache.Cache) *Runner {
+	return &Runner{exec: exec, cache: store}
+}
+
+// Workers reports the shared executor's concurrency bound.
+func (r *Runner) Workers() int { return r.exec.Workers() }
 
 // Cache reports the shared persistent store (nil when uncached).
 func (r *Runner) Cache() *cache.Cache { return r.cache }
 
 // NewSuite derives a job-scoped suite from the runner. The suite
-// shares the runner's execution slots and persistent store but keeps
-// its own singleflight map, simulation counter and cache counters, so
-// concurrent jobs never leak each other's records into their result
-// sets. opts.Workers, when positive, caps this suite's share of the
-// pool (clamped to the pool size); opts.Cache is ignored — the
-// runner's store always wins, so a suite cannot silently split its
-// reads and writes across two stores.
-func (r *Runner) NewSuite(opts Options) *Suite {
+// shares the runner's executor capacity and persistent store but
+// keeps its own singleflight map, simulation counter and cache
+// counters, so concurrent jobs never leak each other's records into
+// their result sets. opts.Workers, when positive, caps this suite's
+// share of the executor (clamped to its bound). opts.Cache must be
+// nil or the runner's own store: a different store is rejected with
+// an error instead of being silently dropped, so a suite can never
+// split its reads and writes across two stores without anyone
+// noticing.
+func (r *Runner) NewSuite(opts Options) (*Suite, error) {
+	if opts.Cache != nil && opts.Cache != r.cache {
+		return nil, fmt.Errorf("exp: Options.Cache conflicts with the runner's store (the runner's always wins); build the Runner over that cache, or leave Options.Cache nil")
+	}
 	if opts.Scale <= 0 {
 		opts.Scale = sim.DefaultScale
 	}
@@ -57,19 +71,20 @@ func (r *Runner) NewSuite(opts Options) *Suite {
 		counting = &countingStore{inner: r.cache}
 		store = counting
 	}
-	limit := opts.Workers
-	if limit <= 0 || limit > cap(r.sem) {
-		limit = cap(r.sem)
+	exec := r.exec
+	if lim, ok := exec.(dist.Limiter); ok {
+		exec = lim.Limit(opts.Workers)
 	}
-	return &Suite{opts: opts, store: counting, sched: newScheduler(r.sem, limit, store)}
+	return &Suite{opts: opts, store: counting, sched: newScheduler(exec, store)}, nil
 }
 
-// countingStore tracks one suite's hits/misses/writes against a store
-// shared with other suites, so per-job cache statistics stay exact
-// even when jobs run concurrently against one cache.
+// countingStore tracks one suite's hits/misses/writes (and failed
+// writes) against a store shared with other suites, so per-job cache
+// statistics stay exact even when jobs run concurrently against one
+// cache.
 type countingStore struct {
-	inner                resultStore
-	hits, misses, writes atomic.Int64
+	inner                           resultStore
+	hits, misses, writes, writeErrs atomic.Int64
 }
 
 func (c *countingStore) Get(key string) (*sim.Result, bool) {
@@ -86,10 +101,17 @@ func (c *countingStore) Put(key string, r *sim.Result) error {
 	err := c.inner.Put(key, r)
 	if err == nil {
 		c.writes.Add(1)
+	} else {
+		c.writeErrs.Add(1)
 	}
 	return err
 }
 
 func (c *countingStore) stats() cache.Stats {
-	return cache.Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Writes: c.writes.Load()}
+	return cache.Stats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Writes:      c.writes.Load(),
+		WriteErrors: c.writeErrs.Load(),
+	}
 }

@@ -1,0 +1,219 @@
+package exp
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"mediasmt/internal/cache"
+	"mediasmt/internal/core"
+	"mediasmt/internal/dist"
+	"mediasmt/internal/mem"
+	"mediasmt/internal/sim"
+)
+
+// TestRunnerRejectsForeignCache: Runner.NewSuite must refuse an
+// Options.Cache that is not the runner's own store instead of
+// silently dropping it — a suite must never split reads and writes
+// across two stores without anyone noticing.
+func TestRunnerRejectsForeignCache(t *testing.T) {
+	own, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(2, own)
+
+	if _, err := r.NewSuite(Options{Scale: 0.05, Seed: 7, Cache: foreign}); err == nil {
+		t.Fatal("foreign Options.Cache accepted silently")
+	} else if !strings.Contains(err.Error(), "Options.Cache") {
+		t.Errorf("rejection does not name the field: %v", err)
+	}
+	// The runner's own store (how package-level NewSuite routes the
+	// option) and nil both pass.
+	if _, err := r.NewSuite(Options{Scale: 0.05, Seed: 7, Cache: own}); err != nil {
+		t.Errorf("runner's own store rejected: %v", err)
+	}
+	if _, err := r.NewSuite(Options{Scale: 0.05, Seed: 7}); err != nil {
+		t.Errorf("nil Options.Cache rejected: %v", err)
+	}
+	// An uncached runner must also refuse a cache smuggled in through
+	// the options.
+	if _, err := NewRunner(2, nil).NewSuite(Options{Cache: foreign}); err == nil {
+		t.Error("uncached runner accepted Options.Cache silently")
+	}
+}
+
+// failingStore is a resultStore whose writes always fail; Gets miss.
+type failingStore struct{}
+
+func (failingStore) Get(string) (*sim.Result, bool) { return nil, false }
+func (failingStore) Put(string, *sim.Result) error  { return errors.New("disk full") }
+
+// TestWriteErrorsSurfaceInStats: write-behind Put failures must not
+// vanish — the suite's cache stats carry an advisory count the exps
+// summary prints.
+func TestWriteErrorsSurfaceInStats(t *testing.T) {
+	counting := &countingStore{inner: failingStore{}}
+	s := &Suite{
+		opts:  Options{Scale: 0.05, Seed: 7},
+		store: counting,
+		sched: newScheduler(dist.NewLocal(2), counting),
+	}
+	if _, err := s.Run(core.ISAMMX, 1, core.PolicyRR, mem.ModeIdeal); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	st, ok := s.CacheStats()
+	if !ok {
+		t.Fatal("cached suite reported no stats")
+	}
+	if st.WriteErrors != 1 || st.Writes != 0 {
+		t.Errorf("stats = %+v, want exactly 1 write error and 0 writes", st)
+	}
+	if st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 miss from the read-through probe", st)
+	}
+}
+
+// remoteTestWorker emulates a worker expsd by executing decoded
+// configs in-process and answering with encoded results — enough to
+// drive the full engine over a dist.Remote without internal/serve
+// (which cannot be imported from here).
+func remoteTestWorker(t *testing.T, fail func(sim.Config) bool) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	executed := new(atomic.Int64)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		cfg, err := sim.DecodeConfig(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if fail != nil && fail(cfg) {
+			http.Error(w, `{"error":"injected worker failure"}`, http.StatusInternalServerError)
+			return
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		executed.Add(1)
+		data, err := sim.EncodeResult(res)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(data)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, executed
+}
+
+// TestRemoteSuiteMatchesLocal is the engine-level half of the
+// distributed acceptance criterion: a suite whose executor is a
+// dist.Remote produces a result set whose CSV is byte-identical to a
+// pure-local run while reporting zero local simulations — the worker
+// owns the executions.
+func TestRemoteSuiteMatchesLocal(t *testing.T) {
+	ts, executed := remoteTestWorker(t, nil)
+	rex, err := dist.NewRemote([]string{ts.URL}, dist.RemoteOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := NewRunnerExecutor(rex, nil).NewSuite(Options{Scale: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"table1", "fig4"}
+	rsRemote, err := remote.RunExperiments(ids, Progress{})
+	if err != nil {
+		t.Fatalf("remote run failed: %v", err)
+	}
+	if rsRemote.Simulations != 0 {
+		t.Errorf("coordinator executed %d local simulations, want 0", rsRemote.Simulations)
+	}
+	if executed.Load() == 0 {
+		t.Fatal("worker executed nothing; the remote path was bypassed")
+	}
+
+	rsLocal, err := NewSuite(Options{Scale: 0.05, Seed: 7, Workers: 4}).RunExperiments(ids, Progress{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var remoteCSV, localCSV strings.Builder
+	if err := rsRemote.WriteCSV(&remoteCSV); err != nil {
+		t.Fatal(err)
+	}
+	if err := rsLocal.WriteCSV(&localCSV); err != nil {
+		t.Fatal(err)
+	}
+	if remoteCSV.String() != localCSV.String() {
+		t.Errorf("remote CSV differs from local:\n--- remote ---\n%s\n--- local ---\n%s", remoteCSV.String(), localCSV.String())
+	}
+	for i, e := range rsRemote.Experiments {
+		if e.Output != rsLocal.Experiments[i].Output {
+			t.Errorf("%s: remote table differs from local", e.ID)
+		}
+	}
+}
+
+// TestRemotePeerFailureStaysInFailureDomain: an unreachable worker
+// fails exactly the experiments whose configs it stranded — the
+// static tables still render, and the config errors carry the peer's
+// diagnosis. This pins the satellite requirement that dist.Remote
+// failures stay inside the engine's partitioning.
+func TestRemotePeerFailureStaysInFailureDomain(t *testing.T) {
+	ts, _ := remoteTestWorker(t, func(cfg sim.Config) bool {
+		return cfg.ISA == core.ISAMOM // half of fig4's configs fail
+	})
+	rex, err := dist.NewRemote([]string{ts.URL}, dist.RemoteOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewRunnerExecutor(rex, nil).NewSuite(Options{Scale: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := s.RunExperiments([]string{"table1", "fig4"}, Progress{})
+	if err == nil {
+		t.Fatal("run with a failing worker reported success")
+	}
+	if !strings.Contains(err.Error(), "injected worker failure") {
+		t.Errorf("joined error lost the peer diagnosis: %v", err)
+	}
+	byID := map[string]ExperimentResult{}
+	for _, e := range rs.Experiments {
+		byID[e.ID] = e
+	}
+	if e := byID["table1"]; e.Status != StatusOK || e.Output == "" {
+		t.Errorf("config-free table1 suppressed by worker failure: %+v", e)
+	}
+	fig4 := byID["fig4"]
+	if fig4.Status != StatusFailed || len(fig4.ConfigErrors) != 4 {
+		t.Fatalf("fig4 = %+v, want failed with exactly the 4 MOM config errors", fig4)
+	}
+	for _, ce := range fig4.ConfigErrors {
+		if !strings.HasPrefix(ce.Key, "mom/") {
+			t.Errorf("healthy config %s marked failed", ce.Key)
+		}
+		if !strings.Contains(ce.Err, "injected worker failure") {
+			t.Errorf("config error lost the peer diagnosis: %+v", ce)
+		}
+	}
+	if rs.Simulations != 0 {
+		t.Errorf("coordinator executed %d local simulations, want 0", rs.Simulations)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mediasmt/internal/dist"
 	"mediasmt/internal/sim"
 )
 
@@ -18,27 +19,27 @@ type resultStore interface {
 }
 
 // scheduler executes simulations at most once per canonical config key
-// (singleflight) through a bounded worker pool. It is safe for
-// concurrent use: experiments rendered in parallel, or a Prefetch
-// racing lazy Run calls, all collapse onto the same in-flight
-// simulation. With a store attached, run() reads through it (memory →
-// disk → execute) and writes freshly executed results behind the
-// waiters' backs, so in-process dedup and cross-process persistence
-// compose. The execution slots (sem) may be shared with other
-// schedulers through a Runner, bounding simulations in flight across
-// every job in the process; the singleflight map, counters and store
-// wrapper stay per-scheduler.
+// (singleflight) through a dist.Executor — the pluggable "where does
+// this run" policy: a local semaphore-bounded pool, remote expsd
+// workers, or a sharded combination. It is safe for concurrent use:
+// experiments rendered in parallel, or a Prefetch racing lazy Run
+// calls, all collapse onto the same in-flight execution. With a store
+// attached, run() reads through it (memory → disk → execute) and
+// writes freshly executed results behind the waiters' backs, so
+// in-process dedup and cross-process persistence compose. The
+// executor may share its capacity with other schedulers through a
+// Runner, bounding executions in flight across every job in the
+// process; the singleflight map, counters and store wrapper stay
+// per-scheduler.
 type scheduler struct {
-	sem   chan struct{} // execution slots, possibly shared across suites
-	limit int           // this scheduler's concurrency cap (<= cap(sem))
-	store resultStore   // optional persistent layer; nil disables it
-	exec  func(sim.Config) (*sim.Result, error)
+	exec  dist.Executor
+	store resultStore // optional persistent layer; nil disables it
 
 	mu      sync.Mutex
 	entries map[string]*schedEntry
 
-	sims    atomic.Int64   // simulations actually executed (not cache hits)
-	pending sync.WaitGroup // in-flight write-behind store Puts
+	executed atomic.Int64   // fallback simulation counter (see simulations)
+	pending  sync.WaitGroup // in-flight write-behind store Puts
 }
 
 // schedEntry is one singleflight slot. done is closed once res/err are
@@ -49,21 +50,17 @@ type schedEntry struct {
 	err  error
 }
 
-func newScheduler(sem chan struct{}, limit int, store resultStore) *scheduler {
-	if limit <= 0 || limit > cap(sem) {
-		limit = cap(sem)
-	}
+func newScheduler(exec dist.Executor, store resultStore) *scheduler {
 	return &scheduler{
-		sem:     sem,
-		limit:   limit,
+		exec:    exec,
 		store:   store,
-		exec:    sim.Run, // seam: tests model transient failures here
 		entries: make(map[string]*schedEntry),
 	}
 }
 
-// workers reports this scheduler's concurrency cap.
-func (s *scheduler) workers() int { return s.limit }
+// workers reports the executor's concurrency cap — the fan-out bound
+// for prefetch.
+func (s *scheduler) workers() int { return s.exec.Workers() }
 
 // run returns the cached result for cfg, executing the simulation if
 // this is the first caller for its key. Concurrent callers with the
@@ -72,8 +69,8 @@ func (s *scheduler) workers() int { return s.limit }
 // wake, so the error reaches everyone already joined on it while the
 // next call for the same key retries fresh instead of replaying a
 // poisoned entry — transient failures heal in-process. Cancelling ctx
-// fails the call while it waits (for an in-flight duplicate or a free
-// execution slot); an execution already started is not interrupted.
+// fails the call while it waits (for an in-flight duplicate or for
+// executor capacity); an execution already started is not interrupted.
 func (s *scheduler) run(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
 	key := cfg.Key()
 	s.mu.Lock()
@@ -92,8 +89,8 @@ func (s *scheduler) run(ctx context.Context, cfg sim.Config) (*sim.Result, error
 
 	// The deferred close/release make a simulation panic (e.g. an
 	// unsupported thread count reaching core.ConfigForThreads) surface
-	// as this entry's error instead of deadlocking waiters on done and
-	// leaking the worker slot.
+	// as this entry's error instead of deadlocking waiters on done;
+	// the executor's own defers keep its capacity from leaking.
 	func() {
 		defer func() {
 			if p := recover(); p != nil {
@@ -108,27 +105,18 @@ func (s *scheduler) run(ctx context.Context, cfg sim.Config) (*sim.Result, error
 			}
 			close(e.done)
 		}()
-		// Read through the persistent layer before claiming a worker
-		// slot: a disk hit costs no simulation and should not queue
-		// behind ones that do.
+		// Read through the persistent layer before claiming executor
+		// capacity: a disk hit costs no simulation and should not
+		// queue behind ones that do.
 		if s.store != nil {
 			if r, ok := s.store.Get(key); ok {
 				e.res = r
 				return
 			}
 		}
-		select {
-		case s.sem <- struct{}{}:
-		case <-ctx.Done():
-			// The entry is evicted through the error path above, so a
-			// later, uncancelled caller retries fresh.
-			e.err = ctx.Err()
-			return
-		}
-		defer func() { <-s.sem }()
-		e.res, e.err = s.exec(cfg)
+		e.res, e.err = s.exec.Execute(ctx, cfg)
 		if e.err == nil {
-			s.sims.Add(1)
+			s.executed.Add(1)
 			if s.store != nil {
 				// Write behind: waiters unblock on done while the
 				// entry persists concurrently. flush() joins these
@@ -137,7 +125,7 @@ func (s *scheduler) run(ctx context.Context, cfg sim.Config) (*sim.Result, error
 				res := e.res
 				go func() {
 					defer s.pending.Done()
-					_ = s.store.Put(key, res) // a failed write only costs a future hit
+					_ = s.store.Put(key, res) // failures are tallied in the store's WriteErrors
 				}()
 			}
 		}
@@ -150,10 +138,10 @@ func (s *scheduler) run(ctx context.Context, cfg sim.Config) (*sim.Result, error
 func (s *scheduler) flush() { s.pending.Wait() }
 
 // prefetch warms the cache for cfgs concurrently, bounded by the
-// worker pool. Duplicate keys are dropped up front so no worker idles
-// on an in-flight duplicate and progress counts unique simulations.
-// Every unique config is simulated regardless of other configs'
-// failures — configs are isolated failure domains, so one bad
+// executor's capacity. Duplicate keys are dropped up front so no
+// worker idles on an in-flight duplicate and progress counts unique
+// simulations. Every unique config is simulated regardless of other
+// configs' failures — configs are isolated failure domains, so one bad
 // simulation never suppresses the rest of the set — but a cancelled
 // ctx fails every config not yet started with the context error.
 // onDone, if non-nil, is called after each unique config settles
@@ -220,10 +208,24 @@ func (s *scheduler) prefetch(ctx context.Context, cfgs []sim.Config, onDone func
 	return errs
 }
 
-// simulations reports how many simulations executed successfully
-// (cache misses; failed or panicked runs excluded, keeping the count
-// reconcilable with the completed-result records).
-func (s *scheduler) simulations() int64 { return s.sims.Load() }
+// simulations reports how many simulations executed successfully in
+// this process (cache hits and failed runs excluded). Executors that
+// count their own local work (dist.Counter) are the source of truth —
+// a Remote-backed scheduler honestly reports 0 because the worker
+// that ran the simulations counts them — but only when they also
+// implement dist.Limiter: Limit is the per-suite derivation contract,
+// so its absence means the executor (and its counter) may be shared
+// across suites, where a process-level count would leak other jobs'
+// executions into this one's. Everything else falls back to the
+// scheduler's own per-suite tally of successful Execute calls.
+func (s *scheduler) simulations() int64 {
+	if c, ok := s.exec.(dist.Counter); ok {
+		if _, perSuite := s.exec.(dist.Limiter); perSuite {
+			return c.Simulations()
+		}
+	}
+	return s.executed.Load()
+}
 
 // completed snapshots every finished, successful simulation by key.
 func (s *scheduler) completed() map[string]*sim.Result {

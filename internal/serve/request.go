@@ -86,6 +86,35 @@ func decodeJobRequest(body io.Reader) (ids []string, opts exp.Options, err error
 	return ids, opts, nil
 }
 
+// decodeSimRequest parses and validates the worker endpoint's body:
+// one sim.Config in the EncodeConfig wire format. The cliflags bounds
+// apply on top of the decode — a worker must refuse an out-of-range
+// config exactly like the CLIs refuse out-of-range flags, never
+// silently normalize it into a different simulation than the
+// coordinator keyed. (Coordinators send normalized configs, so
+// in-range zero-valued fields never reach these checks.)
+func decodeSimRequest(body io.Reader) (sim.Config, error) {
+	data, err := io.ReadAll(body)
+	if err != nil {
+		return sim.Config{}, badRequest("read body: %v", err)
+	}
+	cfg, err := sim.DecodeConfig(data)
+	if err != nil {
+		return sim.Config{}, badRequest("%v", err)
+	}
+	for _, check := range []error{
+		cliflags.Threads("threads", cfg.Threads),
+		cliflags.Scale("scale", cfg.Scale),
+		cliflags.Seed("seed", cfg.Seed),
+		cliflags.MaxCycles("max_cycles", cfg.MaxCycles),
+	} {
+		if check != nil {
+			return sim.Config{}, badRequest("%v", check)
+		}
+	}
+	return cfg, nil
+}
+
 // resolveExperimentIDs expands and validates the requested experiment
 // list. An empty list (or the single element "all") means every
 // built-in, in paper order; unknown ids are rejected naming the valid

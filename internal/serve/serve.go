@@ -9,6 +9,15 @@
 //
 // Endpoints:
 //
+//	POST /v1/sims                worker endpoint: execute one encoded
+//	                             sim.Config through the shared Runner and
+//	                             return the sim.EncodeResult bytes; a
+//	                             coordinator fingerprint mismatch is 409,
+//	                             a failed simulation 422. internal/dist's
+//	                             Remote/Pool executors POST here, which is
+//	                             what turns any expsd into a worker other
+//	                             expsd -peers / exps -remote coordinators
+//	                             can dispatch to.
 //	POST /v1/jobs                submit {"experiments":[...],"scale":...,
 //	                             "seed":...,"workers":...,"max_cycles":...};
 //	                             202 with the job view, Location header
@@ -38,9 +47,12 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"mediasmt/internal/cache"
+	"mediasmt/internal/dist"
 	"mediasmt/internal/exp"
+	"mediasmt/internal/sim"
 )
 
 // Config configures a Server.
@@ -64,6 +76,11 @@ type Server struct {
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
+
+	// simsExecuted counts simulations the worker endpoint (/v1/sims)
+	// actually executed — cache hits excluded — so a coordinator's CI
+	// can prove the worker, not the coordinator, did the work.
+	simsExecuted atomic.Int64
 
 	mu    sync.Mutex
 	jobs  map[string]*job
@@ -96,6 +113,7 @@ func (s *Server) Close() { s.cancelAll() }
 // Handler returns the service's routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+dist.SimsPath, s.handleSimExecute)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -118,6 +136,66 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // writeError emits a JSON error body.
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSimExecute is the worker side of the distributed executor: it
+// validates one simulation config, runs it through the shared Runner
+// — so the worker's capacity bound holds across coordinators and jobs,
+// and the worker's on-disk cache serves repeats without executing —
+// and answers with the sim.EncodeResult bytes a dist.Remote decodes.
+// A coordinator on a different simulator version gets 409 (its results
+// must never mix with ours); a simulation that runs and fails gets 422
+// with the error, which the coordinator surfaces as that config's
+// failure without retrying elsewhere.
+func (s *Server) handleSimExecute(w http.ResponseWriter, r *http.Request) {
+	if got := r.Header.Get(dist.FingerprintHeader); got != "" && got != cache.Fingerprint() {
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"error":       fmt.Sprintf("fingerprint mismatch: coordinator %q, worker %q", got, cache.Fingerprint()),
+			"fingerprint": cache.Fingerprint(),
+		})
+		return
+	}
+	cfg, err := decodeSimRequest(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		var reqErr *requestError
+		if errors.As(err, &reqErr) {
+			writeError(w, http.StatusBadRequest, "%s", reqErr.msg)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "decode: %v", err)
+		return
+	}
+	// A per-request suite keeps worker memory bounded however many
+	// distinct configs coordinators send over the process lifetime;
+	// cross-request dedup is the shared cache's job (coordinators
+	// already singleflight their own duplicates before POSTing).
+	suite, err := s.runner.NewSuite(exp.Options{})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "suite: %v", err)
+		return
+	}
+	// A forwarded simulation terminates here: if this daemon is itself
+	// peered (expsd -peers), its Pool must execute locally rather than
+	// forward again, or two mutually-peered daemons would bounce one
+	// config between each other forever.
+	ctx := r.Context()
+	if r.Header.Get(dist.ForwardedHeader) != "" {
+		ctx = dist.NoForward(ctx)
+	}
+	res, runErr := suite.RunConfigContext(ctx, cfg)
+	suite.Flush() // results must be durable before the coordinator sees them
+	s.simsExecuted.Add(suite.Simulations())
+	if runErr != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", runErr)
+		return
+	}
+	data, err := sim.EncodeResult(res)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode result: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
 }
 
 // handleSubmit validates the submission, admits it into the bounded
@@ -185,7 +263,13 @@ func (s *Server) evictLocked() bool {
 func (s *Server) runJob(ctx context.Context, j *job) {
 	defer j.cancel()
 	j.setRunning()
-	suite := s.runner.NewSuite(j.opts)
+	suite, err := s.runner.NewSuite(j.opts)
+	if err != nil {
+		// Unreachable through the decoder (it never sets Options.Cache),
+		// but a misconfigured embedder still gets a settled, explained job.
+		j.finish(nil, err)
+		return
+	}
 	prog := exp.Progress{
 		Sim: func(done, total int, key string, err error) {
 			ev := map[string]any{"done": done, "total": total, "key": key}
@@ -332,6 +416,10 @@ func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
 		"workers":     s.runner.Workers(),
 		"experiments": exp.IDs(),
 		"cache":       false,
+		// sims_executed counts the worker endpoint's actual executions
+		// (cache hits excluded): a coordinator smoke asserts this moves
+		// on a cold run and stays put on a warm one.
+		"sims_executed": s.simsExecuted.Load(),
 	}
 	if c := s.runner.Cache(); c != nil {
 		resp["cache"] = true

@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mediasmt/internal/cache"
+	"mediasmt/internal/core"
+	"mediasmt/internal/dist"
+	"mediasmt/internal/exp"
+	"mediasmt/internal/mem"
+	"mediasmt/internal/sim"
+)
+
+// postSim POSTs one config to the worker endpoint with the given
+// fingerprint header ("" omits it).
+func postSim(t *testing.T, ts *httptest.Server, body []byte, fp string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+dist.SimsPath, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != "" {
+		req.Header.Set(dist.FingerprintHeader, fp)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+func encodedConfig(t *testing.T, cfg sim.Config) []byte {
+	t.Helper()
+	data, err := sim.EncodeConfig(cfg.Normalize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestWorkerEndpointExecutesAndCaches: POST /v1/sims runs the config
+// through the shared Runner — so a repeat is served from the worker's
+// cache without executing — and the response decodes to the same
+// result a direct sim.Run produces.
+func TestWorkerEndpointExecutesAndCaches(t *testing.T) {
+	ts := newTestServer(t, 2, 8)
+	cfg := sim.Config{ISA: core.ISAMMX, Threads: 1, Policy: core.PolicyRR, Memory: mem.ModeIdeal, Scale: 0.02, Seed: 7}
+
+	code, raw := postSim(t, ts, encodedConfig(t, cfg), cache.Fingerprint())
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	got, err := sim.DecodeResult(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles != want.Cycles || got.IPC != want.IPC {
+		t.Errorf("worker result diverged: cycles %d vs %d", got.Cycles, want.Cycles)
+	}
+
+	// The repeat must be a cache hit: sims_executed stays at 1.
+	code, raw = postSim(t, ts, encodedConfig(t, cfg), cache.Fingerprint())
+	if code != http.StatusOK {
+		t.Fatalf("repeat status %d: %s", code, raw)
+	}
+	resp, err := http.Get(ts.URL + "/v1/fingerprint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fp struct {
+		SimsExecuted int64 `json:"sims_executed"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&fp)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.SimsExecuted != 1 {
+		t.Errorf("sims_executed = %d after one cold and one warm request, want 1", fp.SimsExecuted)
+	}
+}
+
+// TestWorkerEndpointRejections pins the worker's error contract:
+// fingerprint skew is 409, malformed or out-of-range configs are 400,
+// and a config that runs and fails is 422 carrying the simulation
+// error.
+func TestWorkerEndpointRejections(t *testing.T) {
+	ts := newTestServer(t, 2, 8)
+	valid := sim.Config{ISA: core.ISAMMX, Threads: 1, Policy: core.PolicyRR, Memory: mem.ModeIdeal, Scale: 0.02, Seed: 7}
+
+	code, raw := postSim(t, ts, encodedConfig(t, valid), "cachefmt-v0+other-sim")
+	if code != http.StatusConflict {
+		t.Errorf("fingerprint skew: status %d (%s), want 409", code, raw)
+	}
+	if !strings.Contains(string(raw), cache.Fingerprint()) {
+		t.Errorf("409 body does not report the worker's fingerprint: %s", raw)
+	}
+
+	code, raw = postSim(t, ts, []byte("{not json"), cache.Fingerprint())
+	if code != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d (%s), want 400", code, raw)
+	}
+
+	bad := valid
+	bad.Threads = 3
+	code, raw = postSim(t, ts, encodedConfig(t, bad), cache.Fingerprint())
+	if code != http.StatusBadRequest || !strings.Contains(string(raw), "threads") {
+		t.Errorf("threads=3: status %d (%s), want 400 naming threads", code, raw)
+	}
+
+	capped := valid
+	capped.MaxCycles = 1000
+	code, raw = postSim(t, ts, encodedConfig(t, capped), cache.Fingerprint())
+	if code != http.StatusUnprocessableEntity || !strings.Contains(string(raw), "MaxCycles") {
+		t.Errorf("capped sim: status %d (%s), want 422 carrying the simulation error", code, raw)
+	}
+}
+
+// TestMutuallyPeeredDaemonsDoNotRecurse: two daemons pointed at each
+// other must serve a forwarded simulation locally instead of bouncing
+// it back and forth — the ForwardedHeader/NoForward guard caps every
+// config at one coordinator→worker hop.
+func TestMutuallyPeeredDaemonsDoNotRecurse(t *testing.T) {
+	// Late-bound handlers break the URL chicken-and-egg: each server's
+	// pool needs the other's URL before its handler exists.
+	var hA, hB http.Handler
+	tsA := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { hA.ServeHTTP(w, r) }))
+	t.Cleanup(tsA.Close)
+	tsB := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { hB.ServeHTTP(w, r) }))
+	t.Cleanup(tsB.Close)
+
+	mkServer := func(peerURL string) *Server {
+		t.Helper()
+		c, err := cache.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool, err := dist.NewPool([]string{peerURL}, dist.RemoteOptions{}, dist.NewLocal(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := New(Config{Runner: exp.NewRunnerExecutor(pool, c), MaxJobs: 4})
+		t.Cleanup(s.Close)
+		return s
+	}
+	hA = mkServer(tsB.URL).Handler()
+	hB = mkServer(tsA.URL).Handler()
+
+	cfg := sim.Config{ISA: core.ISAMMX, Threads: 1, Policy: core.PolicyRR, Memory: mem.ModeIdeal, Scale: 0.02, Seed: 13}
+	// An unforwarded request to A forwards to B exactly once; B's own
+	// pool must execute it rather than forward it back to A.
+	code, raw := postSim(t, tsA, encodedConfig(t, cfg), cache.Fingerprint())
+	if code != http.StatusOK {
+		t.Fatalf("mutually-peered execution: status %d: %s", code, raw)
+	}
+	if _, err := sim.DecodeResult(raw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoordinatorOverWorkerServer is the serve-level half of the
+// distributed acceptance criterion: a coordinator suite driving this
+// server through a real dist.Remote executes zero local simulations,
+// the worker's counter owns the work, and a warm coordinator pass adds
+// nothing anywhere.
+func TestCoordinatorOverWorkerServer(t *testing.T) {
+	ts := newTestServer(t, 2, 8)
+	rex, err := dist.NewRemote([]string{ts.URL}, dist.RemoteOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := exp.NewRunnerExecutor(rex, nil)
+
+	workerExecuted := func() int64 {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/fingerprint")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fp struct {
+			SimsExecuted int64 `json:"sims_executed"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&fp)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fp.SimsExecuted
+	}
+
+	run := func() *exp.ResultSet {
+		t.Helper()
+		suite, err := runner.NewSuite(exp.Options{Scale: 0.02, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := suite.RunExperiments([]string{"fig4"}, exp.Progress{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+
+	cold := run()
+	if cold.Simulations != 0 {
+		t.Errorf("cold coordinator executed %d local simulations, want 0", cold.Simulations)
+	}
+	executed := workerExecuted()
+	if executed != 8 {
+		t.Errorf("worker executed %d simulations for fig4, want 8", executed)
+	}
+
+	warm := run()
+	if warm.Simulations != 0 {
+		t.Errorf("warm coordinator executed %d local simulations, want 0", warm.Simulations)
+	}
+	if got := workerExecuted(); got != executed {
+		t.Errorf("warm pass executed %d new worker simulations, want 0", got-executed)
+	}
+
+	var coldCSV, warmCSV bytes.Buffer
+	if err := cold.WriteCSV(&coldCSV); err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.WriteCSV(&warmCSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldCSV.Bytes(), warmCSV.Bytes()) {
+		t.Error("warm coordinator CSV differs from cold")
+	}
+}

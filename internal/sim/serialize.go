@@ -29,6 +29,41 @@ func EncodeResult(r *Result) ([]byte, error) {
 	return data, nil
 }
 
+// EncodeConfig renders cfg as stable JSON for the distributed-worker
+// wire format (internal/dist POSTs it to a worker's /v1/sims
+// endpoint). Like EncodeResult, struct fields emit in declaration
+// order, so the same config always serializes to the same bytes; the
+// encoding round-trips through DecodeConfig, including core/memory
+// overrides and program-list overrides.
+func EncodeConfig(cfg Config) ([]byte, error) {
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sim: encode config: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeConfig parses bytes produced by EncodeConfig. Unknown fields
+// are rejected so that a config written by a binary with a richer
+// Config layout fails loudly instead of silently simulating something
+// else; the caller (the worker endpoint) still applies the cliflags
+// bounds on top.
+func DecodeConfig(data []byte) (Config, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var cfg Config
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("sim: decode config: %w", err)
+	}
+	if dec.More() {
+		return Config{}, fmt.Errorf("sim: decode config: trailing data")
+	}
+	if cfg.Threads < 1 {
+		return Config{}, fmt.Errorf("sim: decode config: not a simulation config")
+	}
+	return cfg, nil
+}
+
 // DecodeResult parses bytes produced by EncodeResult. Unknown fields
 // are rejected so that a Result written under a struct layout this
 // binary does not know about fails loudly (callers such as the on-disk

@@ -82,3 +82,45 @@ func TestEncodeResultNil(t *testing.T) {
 		t.Error("EncodeResult(nil) succeeded, want error")
 	}
 }
+
+// TestEncodeConfigRoundTrip: the worker wire format must round-trip
+// every field that feeds the canonical key — a config that decodes to
+// a different key would silently simulate something else.
+func TestEncodeConfigRoundTrip(t *testing.T) {
+	ccfg := core.ConfigForThreads(core.ISAMOM, 8)
+	ccfg.IQSize = 99
+	mcfg := mem.DefaultConfig(mem.ModeDecoupled)
+	mcfg.L1MSHRs = 2
+	cfgs := []Config{
+		{ISA: core.ISAMMX, Threads: 1, Policy: core.PolicyRR, Memory: mem.ModeIdeal, Scale: 0.05, Seed: 7},
+		{ISA: core.ISAMOM, Threads: 8, Policy: core.PolicyOCOUNT, Memory: mem.ModeDecoupled,
+			Scale: 0.5, Seed: 9, MaxCycles: 12345, CoreOverride: &ccfg, MemOverride: &mcfg,
+			Programs: []string{"mpeg2dec", "mesa"}},
+	}
+	for _, cfg := range cfgs {
+		data, err := EncodeConfig(cfg.Normalize())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeConfig(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Key() != cfg.Key() {
+			t.Errorf("round-tripped key %q, want %q", got.Key(), cfg.Key())
+		}
+	}
+}
+
+// TestDecodeConfigRejectsGarbage: unknown fields, trailing data and
+// thread-less bodies all fail loudly.
+func TestDecodeConfigRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{``, `null`, `{}`, `{"Threads":1}{}`, `{"Threads":1,"Nope":2}`, `not json`} {
+		if _, err := DecodeConfig([]byte(bad)); err == nil {
+			t.Errorf("DecodeConfig(%q) succeeded", bad)
+		}
+	}
+	if _, err := DecodeConfig([]byte(`{"Threads":1}`)); err != nil {
+		t.Errorf("minimal valid config rejected: %v", err)
+	}
+}
