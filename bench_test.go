@@ -161,6 +161,28 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
 }
 
+// BenchmarkSimulatorThroughputReference runs the same configuration on
+// the retained per-cycle reference engine. The gap between this and
+// BenchmarkSimulatorThroughput is the event engine's speedup; if it
+// ever collapses toward 1×, NextWakeup has stopped finding skippable
+// spans.
+func BenchmarkSimulatorThroughputReference(b *testing.B) {
+	var insts, cycles int64
+	for i := 0; i < b.N; i++ {
+		r, err := sim.RunReference(sim.Config{
+			ISA: core.ISAMMX, Threads: 4, Policy: core.PolicyRR,
+			Memory: mem.ModeConventional, Scale: benchScale, Seed: 42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += r.Core.Committed
+		cycles += r.Cycles
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "siminsts/s")
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+}
+
 // BenchmarkLocalExecutor compares the pre-refactor execution shape —
 // a raw semaphore channel guarding a direct function call, as
 // exp.scheduler inlined before the executor seam — against the same

@@ -1,0 +1,189 @@
+// Command benchdiff compares two `go test -json -bench` result streams
+// and fails when a watched benchmark metric regresses beyond a bound.
+// CI uses it to diff the run's BENCH_ci.json against the committed
+// BENCH_baseline.json so the simulator's performance trajectory is a
+// gate, not just an artifact:
+//
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json
+//
+// By default it watches BenchmarkSimulatorThroughput's siminsts/s and
+// fails on a drop of more than 25%. Improvements and noise within the
+// bound pass; a watched benchmark or metric missing from either file is
+// its own failure (exit 2) so a renamed benchmark cannot silently
+// disable the gate.
+//
+// Exit codes: 0 metrics within bounds, 1 regression beyond -max-regress,
+// 2 usage error or a watched benchmark/metric absent from an input.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the test2json event stream benchdiff
+// reads: benchmark result lines arrive as Action "output" events.
+type testEvent struct {
+	Action string
+	Output string
+}
+
+// benchResults maps "BenchmarkName/sub" -> metric unit -> value. The
+// -8 style GOMAXPROCS suffix is stripped from names so baselines taken
+// on machines with different core counts still line up.
+type benchResults map[string]map[string]float64
+
+// parseFile extracts benchmark metrics from a test2json stream file.
+func parseFile(path string) (benchResults, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	// Output events can split lines arbitrarily; reassemble the full
+	// text stream first, then scan it line by line.
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("%s: not a go test -json stream: %v", path, err)
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+
+	out := benchResults{}
+	for _, line := range strings.Split(text.String(), "\n") {
+		name, metrics, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		out[name] = metrics
+	}
+	return out, nil
+}
+
+// parseBenchLine parses one benchmark result line:
+//
+//	BenchmarkSimulatorThroughput-8  1  57243119 ns/op  1.34e+06 siminsts/s ...
+//
+// returning the name without the GOMAXPROCS suffix and its metrics.
+func parseBenchLine(line string) (string, map[string]float64, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", nil, false
+	}
+	fields := strings.Fields(line)
+	// Name, iteration count, then at least one value/unit pair.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return "", nil, false
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return "", nil, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	metrics := make(map[string]float64, (len(fields)-2)/2)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	return name, metrics, true
+}
+
+func lookup(r benchResults, path, bench, metric string) (float64, error) {
+	m, ok := r[bench]
+	if !ok {
+		return 0, fmt.Errorf("%s: benchmark %s not found", path, bench)
+	}
+	v, ok := m[metric]
+	if !ok {
+		return 0, fmt.Errorf("%s: benchmark %s has no %s metric", path, bench, metric)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("%s: benchmark %s reports non-positive %s (%g)", path, bench, metric, v)
+	}
+	return v, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed go test -json bench stream to compare against")
+	currentPath := flag.String("current", "BENCH_ci.json", "this run's go test -json bench stream")
+	benches := flag.String("bench", "BenchmarkSimulatorThroughput", "comma-separated benchmark names to gate (GOMAXPROCS suffix excluded)")
+	metric := flag.String("metric", "siminsts/s", "higher-is-better metric to compare")
+	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated fractional drop vs baseline (0.25 = 25%)")
+	flag.Parse()
+	if *maxRegress < 0 || *maxRegress >= 1 {
+		fmt.Fprintf(os.Stderr, "benchdiff: -max-regress %g out of range [0, 1)\n", *maxRegress)
+		os.Exit(2)
+	}
+
+	base, err := parseFile(*baselinePath)
+	var regressed bool
+	if err == nil {
+		var cur benchResults
+		cur, err = parseFile(*currentPath)
+		if err == nil {
+			regressed, err = diff(os.Stdout, base, cur, *baselinePath, *currentPath, *benches, *metric, *maxRegress)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if regressed {
+		os.Exit(1)
+	}
+}
+
+// diff compares each watched benchmark's metric and reports whether
+// any fell below baseline by more than maxRegress.
+func diff(w io.Writer, base, cur benchResults, basePath, curPath, benches, metric string, maxRegress float64) (bool, error) {
+	regressed := false
+	for _, bench := range strings.Split(benches, ",") {
+		bench = strings.TrimSpace(bench)
+		if bench == "" {
+			continue
+		}
+		b, err := lookup(base, basePath, bench, metric)
+		if err != nil {
+			return false, err
+		}
+		c, err := lookup(cur, curPath, bench, metric)
+		if err != nil {
+			return false, err
+		}
+		change := c/b - 1
+		status := "ok"
+		if change < -maxRegress {
+			status = fmt.Sprintf("REGRESSION beyond -%.0f%% bound", maxRegress*100)
+			regressed = true
+		}
+		fmt.Fprintf(w, "%s %s: baseline %.6g, current %.6g (%+.1f%%) — %s\n",
+			bench, metric, b, c, change*100, status)
+	}
+	return regressed, nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	name, m, ok := parseBenchLine(
+		"BenchmarkSimulatorThroughput-8   \t       1\t  57243119 ns/op\t   1.34e+06 siminsts/s\t    945000 simcycles/s")
+	if !ok {
+		t.Fatal("valid benchmark line not parsed")
+	}
+	if name != "BenchmarkSimulatorThroughput" {
+		t.Errorf("name = %q, want GOMAXPROCS suffix stripped", name)
+	}
+	if m["siminsts/s"] != 1.34e6 || m["simcycles/s"] != 945000 || m["ns/op"] != 57243119 {
+		t.Errorf("metrics = %v", m)
+	}
+
+	for _, line := range []string{
+		"",
+		"ok  \tmediasmt\t1.2s",
+		"BenchmarkFoo-8", // no iteration count or metrics
+		"Benchmark results follow:",
+		"--- BENCH: BenchmarkFoo",
+	} {
+		if _, _, ok := parseBenchLine(line); ok {
+			t.Errorf("parseBenchLine(%q) accepted a non-result line", line)
+		}
+	}
+
+	// Sub-benchmark names pass through with the suffix stripped.
+	name, _, ok = parseBenchLine("BenchmarkFig5RealMemory/mmx-4T-16 \t 1 \t 123 ns/op")
+	if !ok || name != "BenchmarkFig5RealMemory/mmx-4T" {
+		t.Errorf("sub-benchmark name = %q ok=%v", name, ok)
+	}
+}
+
+func writeStream(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// event builds a test2json output event carrying one line of text.
+func event(text string) string {
+	return `{"Action":"output","Package":"mediasmt","Output":"` + text + `\n"}`
+}
+
+func TestParseFileAndDiff(t *testing.T) {
+	basePath := writeStream(t,
+		`{"Action":"start","Package":"mediasmt"}`,
+		event(`BenchmarkSimulatorThroughput-8 \t 1 \t 50000000 ns/op \t 1000000 siminsts/s \t 700000 simcycles/s`),
+		event(`ok  \tmediasmt\t1.2s`),
+	)
+	base, err := parseFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(current string, wantRegressed bool) {
+		t.Helper()
+		curPath := writeStream(t, event(current))
+		cur, err := parseFile(curPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regressed, err := diff(io.Discard, base, cur, basePath, curPath,
+			"BenchmarkSimulatorThroughput", "siminsts/s", 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if regressed != wantRegressed {
+			t.Errorf("%q: regressed = %v, want %v", current, regressed, wantRegressed)
+		}
+	}
+	// Within bound (-20%), an improvement, and beyond bound (-30%).
+	check(`BenchmarkSimulatorThroughput-4 \t 1 \t 1 ns/op \t 800000 siminsts/s`, false)
+	check(`BenchmarkSimulatorThroughput-4 \t 1 \t 1 ns/op \t 2000000 siminsts/s`, false)
+	check(`BenchmarkSimulatorThroughput-4 \t 1 \t 1 ns/op \t 700000 siminsts/s`, true)
+}
+
+// TestDiffMissingBenchmarkErrors pins the fail-closed contract: a
+// watched benchmark absent from an input is an error, not a pass, so a
+// rename cannot silently disable the gate.
+func TestDiffMissingBenchmarkErrors(t *testing.T) {
+	path := writeStream(t, event(`BenchmarkOther-8 \t 1 \t 10 ns/op \t 5 siminsts/s`))
+	r, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := diff(io.Discard, r, r, path, path, "BenchmarkSimulatorThroughput", "siminsts/s", 0.25); err == nil {
+		t.Error("missing watched benchmark did not error")
+	}
+	if _, err := diff(io.Discard, r, r, path, path, "BenchmarkOther", "simcycles/s", 0.25); err == nil {
+		t.Error("missing watched metric did not error")
+	}
+}
+
+// TestBaselineFileParses guards the committed baseline: if it exists at
+// the repo root it must parse and contain the gated benchmark/metric.
+func TestBaselineFileParses(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_baseline.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Skip("no committed BENCH_baseline.json")
+	}
+	r, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lookup(r, path, "BenchmarkSimulatorThroughput", "siminsts/s"); err != nil {
+		t.Error(err)
+	}
+}

@@ -16,8 +16,10 @@ package cliflags
 import (
 	"fmt"
 	"net/url"
+	"strconv"
 	"strings"
 
+	"mediasmt/internal/core"
 	"mediasmt/internal/sim"
 )
 
@@ -92,12 +94,18 @@ func Peers(name, v string) ([]string, error) {
 	return out, nil
 }
 
-// Threads rejects hardware context counts outside the paper's
-// evaluated machine sizes.
+// Threads rejects hardware context counts the core cannot build. The
+// accepted set is core.SupportedThreadCounts — the paper's evaluated
+// machine sizes — so this check cannot drift from what
+// core.ConfigForThreads actually constructs.
 func Threads(name string, v int) error {
-	switch v {
-	case 1, 2, 4, 8:
+	if core.SupportsThreads(v) {
 		return nil
 	}
-	return fmt.Errorf("unsupported %s %d (want 1, 2, 4 or 8)", name, v)
+	counts := core.SupportedThreadCounts()
+	parts := make([]string, len(counts))
+	for i, n := range counts {
+		parts[i] = strconv.Itoa(n)
+	}
+	return fmt.Errorf("unsupported %s %d (want %s)", name, v, strings.Join(parts, ", "))
 }

@@ -3,6 +3,8 @@ package cliflags
 import (
 	"strings"
 	"testing"
+
+	"mediasmt/internal/core"
 )
 
 func TestScale(t *testing.T) {
@@ -47,6 +49,18 @@ func TestMaxCycles(t *testing.T) {
 	}
 	if err := MaxCycles("max_cycles", -5); err == nil || !strings.Contains(err.Error(), "max_cycles") {
 		t.Errorf("MaxCycles(-5) = %v, want error naming max_cycles", err)
+	}
+}
+
+// TestThreadsMatchesCore pins the dedup contract: the CLI/HTTP bound
+// accepts a count exactly when core can build a configuration for it,
+// across the whole validity range and beyond.
+func TestThreadsMatchesCore(t *testing.T) {
+	for v := -1; v <= core.MaxHWContexts+1; v++ {
+		err := Threads("-threads", v)
+		if got, want := err == nil, core.SupportsThreads(v); got != want {
+			t.Errorf("Threads(%d) accepted=%v, core.SupportsThreads=%v", v, got, want)
+		}
 	}
 }
 

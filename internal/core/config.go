@@ -7,7 +7,12 @@
 // SIMD issue width 1).
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
 
 // ISAKind selects which media extension the processor implements.
 type ISAKind uint8
@@ -110,9 +115,48 @@ type Config struct {
 	PredHistBits  int
 }
 
+// MaxHWContexts bounds the number of hardware contexts a Config may
+// declare: fixed-size per-thread structures in the pipeline are sized
+// by it, and Validate refuses anything beyond it.
+const MaxHWContexts = 32
+
 // robSizes is the per-thread graduation-window size for 1/2/4/8
 // contexts (total window grows sub-linearly, as in the paper's Table 1).
 var robSizes = map[int]int{1: 128, 2: 96, 4: 64, 8: 48}
+
+// SupportedThreadCounts returns, in ascending order, the hardware
+// context counts ConfigForThreads can build — the paper's evaluated
+// machine sizes. This is the single source of truth the CLI/HTTP bound
+// checks (internal/cliflags) delegate to, so the front doors cannot
+// drift from what the core actually constructs.
+func SupportedThreadCounts() []int {
+	out := make([]int, 0, len(robSizes))
+	for n := range robSizes {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SupportsThreads reports whether ConfigForThreads accepts the count.
+func SupportsThreads(n int) bool {
+	_, ok := robSizes[n]
+	return ok
+}
+
+// threadCountList renders the supported counts for error messages:
+// "1, 2, 4 or 8".
+func threadCountList() string {
+	counts := SupportedThreadCounts()
+	parts := make([]string, len(counts))
+	for i, n := range counts {
+		parts[i] = strconv.Itoa(n)
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return strings.Join(parts[:len(parts)-1], ", ") + " or " + parts[len(parts)-1]
+}
 
 // ConfigForThreads returns the architectural parameters used by every
 // experiment, sized for near-saturation performance at the given
@@ -120,7 +164,7 @@ var robSizes = map[int]int{1: 128, 2: 96, 4: 64, 8: 48}
 func ConfigForThreads(kind ISAKind, threads int) Config {
 	rob, ok := robSizes[threads]
 	if !ok {
-		panic(fmt.Sprintf("core: unsupported thread count %d (want 1, 2, 4 or 8)", threads))
+		panic(fmt.Sprintf("core: unsupported thread count %d (want %s)", threads, threadCountList()))
 	}
 	c := Config{
 		Threads:     threads,
@@ -176,8 +220,8 @@ func ConfigForThreads(kind ISAKind, threads int) Config {
 // Validate reports configuration errors (insufficient physical
 // registers for the architected state, zero widths, and the like).
 func (c *Config) Validate() error {
-	if c.Threads < 1 || c.Threads > 32 {
-		return fmt.Errorf("core: bad thread count %d", c.Threads)
+	if c.Threads < 1 || c.Threads > MaxHWContexts {
+		return fmt.Errorf("core: bad thread count %d (want 1..%d)", c.Threads, MaxHWContexts)
 	}
 	if c.PhysInt < 32*c.Threads+1 {
 		return fmt.Errorf("core: %d int physical registers cannot back %d threads", c.PhysInt, c.Threads)

@@ -23,8 +23,21 @@ func (p *Processor) drainMemory(now int64) {
 
 // writeback completes scheduled operations whose results are ready.
 func (p *Processor) writeback(now int64) {
-	w := 0
-	for _, u := range p.inflight {
+	// Find the first completion before rewriting anything: on most
+	// cycles nothing completes, and the no-op rewrite of a pointer
+	// slice is all GC write-barrier traffic.
+	i := 0
+	for ; i < len(p.inflight); i++ {
+		if p.inflight[i].doneAt <= now {
+			break
+		}
+	}
+	if i == len(p.inflight) {
+		return
+	}
+	w := i
+	for ; i < len(p.inflight); i++ {
+		u := p.inflight[i]
 		if u.doneAt <= now {
 			p.complete(u, now)
 		} else {
@@ -41,7 +54,7 @@ func (p *Processor) writeback(now int64) {
 func (p *Processor) complete(u *uop, now int64) {
 	u.completed = true
 	if u.dstPhys >= 0 {
-		p.rf.setReady(u.dstFile, u.dstPhys)
+		p.wakeReg(u.dstFile, u.dstPhys)
 	}
 	if u.info.Unit == isa.UnitMedia {
 		p.simdInFlight--
@@ -53,23 +66,47 @@ func (p *Processor) complete(u *uop, now int64) {
 	}
 }
 
+// wakeReg marks a physical register's value available and wakes the
+// queue entries parked on it (scoreboard wakeup registered at
+// dispatch).
+func (p *Processor) wakeReg(f isa.RegFile, r int32) {
+	pf := p.rf.file(f)
+	pf.ready[r] = true
+	ws := pf.waiters[r]
+	if len(ws) == 0 {
+		return
+	}
+	for i, u := range ws {
+		u.waitCount--
+		if u.waitCount == 0 {
+			p.readyCount[u.qid]++
+		}
+		ws[i] = nil
+	}
+	pf.waiters[r] = ws[:0]
+}
+
 // ready reports whether all of a uop's source registers are available.
 func (p *Processor) ready(u *uop) bool {
-	for i := 0; i < u.nsrc; i++ {
-		if u.srcPhys[i] >= 0 && !p.rf.isReady(u.srcFile[i], u.srcPhys[i]) {
-			return false
-		}
-	}
-	return true
+	return u.waitCount == 0
 }
 
 // issue scans the four queues oldest-first and starts every ready
-// operation the functional units can accept this cycle.
+// operation the functional units can accept this cycle. A queue with
+// no ready entry (by its scoreboard counter) is skipped outright.
 func (p *Processor) issue(now int64) {
-	p.issueInt(now)
-	p.issueFP(now)
-	p.issueSIMD(now)
-	p.issueMem(now)
+	if p.readyCount[qidInt] > 0 {
+		p.issueInt(now)
+	}
+	if p.readyCount[qidFP] > 0 {
+		p.issueFP(now)
+	}
+	if p.readyCount[qidSIMD] > 0 {
+		p.issueSIMD(now)
+	}
+	if p.readyCount[qidMem] > 0 {
+		p.issueMem(now)
+	}
 }
 
 func (p *Processor) noteIssued(u *uop) {
@@ -77,13 +114,25 @@ func (p *Processor) noteIssued(u *uop) {
 	th.frontCount--
 	th.opCount -= int(u.equiv())
 	u.issued = true
+	p.readyCount[u.qid]--
 }
 
 func compactQueue(q []*uop) []*uop {
-	w := 0
-	for _, u := range q {
-		if !u.issued {
-			q[w] = u
+	// Read-only scan first: compacting an unchanged queue rewrites
+	// every pointer through the GC write barrier for nothing.
+	i := 0
+	for ; i < len(q); i++ {
+		if q[i].issued {
+			break
+		}
+	}
+	if i == len(q) {
+		return q
+	}
+	w := i
+	for ; i < len(q); i++ {
+		if !q[i].issued {
+			q[w] = q[i]
 			w++
 		}
 	}
@@ -269,7 +318,7 @@ func (p *Processor) forwardingStore(ld *uop) *uop {
 // sendLoadElements pushes pending load element accesses into the
 // memory system, oldest load first, as long as ports accept them.
 func (p *Processor) sendLoadElements(now int64) {
-	w := 0
+	finished := false
 	for _, u := range p.activeLoads {
 		if now >= u.addrReadyAt {
 			for u.elemsSent < u.elemsTotal {
@@ -287,6 +336,15 @@ func (p *Processor) sendLoadElements(now int64) {
 				p.st.LoadElemSent++
 			}
 		}
+		if u.elemsSent >= u.elemsTotal {
+			finished = true
+		}
+	}
+	if !finished {
+		return
+	}
+	w := 0
+	for _, u := range p.activeLoads {
 		if u.elemsSent < u.elemsTotal {
 			p.activeLoads[w] = u
 			w++
@@ -301,6 +359,18 @@ func (p *Processor) sendLoadElements(now int64) {
 // retirement); a store blocks its thread's commit until all elements
 // are accepted.
 func (p *Processor) commit(now int64) {
+	// Cheap pre-scan: most cycles no head is completed, and the
+	// budgeted round-robin loop below costs several times this.
+	anyDone := false
+	for _, th := range p.threads {
+		if u := th.robPeek(); u != nil && u.completed {
+			anyDone = true
+			break
+		}
+	}
+	if !anyDone {
+		return
+	}
 	budget := p.cfg.CommitWidth
 	n := p.cfg.Threads
 	for round := 0; budget > 0; round++ {
@@ -367,4 +437,8 @@ func (p *Processor) retire(th *threadState, u *uop) {
 	p.st.CommittedByClass[u.info.Class]++
 	p.st.CommittedEqByCls[u.info.Class] += eq
 	p.st.PerThreadCommitted[th.id]++
+	if th.robCount == 0 && th.progEnd && !th.hasPend && th.fqCount == 0 {
+		p.drainSignal = true
+	}
+	p.uopPool = append(p.uopPool, u)
 }

@@ -27,6 +27,13 @@ type uop struct {
 	completed bool
 	doneAt    int64
 
+	// Scoreboard wakeup: waitCount is the number of source registers
+	// still outstanding (the uop is ready to issue when it reaches 0);
+	// qid names the issue queue holding the uop, for the per-queue
+	// ready counters.
+	waitCount int32
+	qid       uint8
+
 	// Memory state.
 	isLoad      bool
 	isStore     bool
@@ -60,7 +67,12 @@ type threadState struct {
 	progEnd bool
 	idle    bool
 
+	// fq is the fetch queue, a fixed-capacity ring (popping the head
+	// must not shift the body: dispatch pops up to DecodeWidth entries
+	// per cycle).
 	fq           []fqEntry
+	fqHead       int
+	fqCount      int
 	fetchBlocked bool
 	stallUntil   int64
 
@@ -78,6 +90,18 @@ type threadState struct {
 }
 
 func (t *threadState) robFull() bool { return t.robCount == len(t.rob) }
+
+func (t *threadState) fqFront() *fqEntry { return &t.fq[t.fqHead] }
+
+func (t *threadState) fqPush(e fqEntry) {
+	t.fq[(t.fqHead+t.fqCount)%len(t.fq)] = e
+	t.fqCount++
+}
+
+func (t *threadState) fqPop() {
+	t.fqHead = (t.fqHead + 1) % len(t.fq)
+	t.fqCount--
+}
 
 func (t *threadState) robPush(u *uop) {
 	t.rob[(t.robHead+t.robCount)%len(t.rob)] = u
@@ -125,9 +149,20 @@ type Processor struct {
 	qFP   []*uop
 	qSIMD []*uop
 
+	// readyCount[qid] is the number of un-issued entries in that queue
+	// whose sources are all available. Issue scans (and the issue part
+	// of NextWakeup) skip a queue whose count is zero, which is most
+	// queues on most cycles.
+	readyCount [4]int
+
 	inflight    []*uop
 	activeLoads []*uop
 	loadsByTag  map[uint64]*uop
+
+	// uopPool recycles retired uops: by retirement a uop has issued,
+	// completed and left every queue, waiter list and lookup structure,
+	// so reuse is safe and saves an allocation per instruction.
+	uopPool []*uop
 
 	mediaBusyUntil []int64
 	fpDivBusyUntil []int64
@@ -143,6 +178,11 @@ type Processor struct {
 	// per-cycle issue census
 	intIssuedNow  int
 	simdIssuedNow int
+
+	// drainSignal is set by retire when a context runs out of program
+	// work; TakeDrainSignal hands it to the run loop, which only then
+	// needs to scan contexts for relaunch.
+	drainSignal bool
 
 	st Stats
 }
@@ -170,7 +210,12 @@ func New(cfg Config, m mem.System) (*Processor, error) {
 	p.st.PerThreadCommitted = make([]int64, cfg.Threads)
 
 	for i := 0; i < cfg.Threads; i++ {
-		th := &threadState{id: i, idle: true, rob: make([]*uop, cfg.ROBPerThread)}
+		th := &threadState{
+			id:   i,
+			idle: true,
+			rob:  make([]*uop, cfg.ROBPerThread),
+			fq:   make([]fqEntry, cfg.FetchQCap),
+		}
 		for f := isa.RFInt; f <= isa.RFAcc; f++ {
 			n := isa.LogicalRegs(f)
 			th.rmap[f] = make([]int32, n)
@@ -212,7 +257,7 @@ func (p *Processor) SetProgram(ctx int, prog trace.Program, factor float64) {
 	th.idle = prog == nil
 	th.fetchBlocked = false
 	th.stallUntil = p.now
-	th.fq = th.fq[:0]
+	th.fqHead, th.fqCount = 0, 0
 	th.frontCount = 0
 	th.opCount = 0
 	th.hasPend = false
@@ -229,7 +274,7 @@ func (p *Processor) ContextDrained(ctx int) bool {
 	if th.idle {
 		return true
 	}
-	return th.progEnd && !th.hasPend && len(th.fq) == 0 && th.robCount == 0
+	return th.progEnd && !th.hasPend && th.fqCount == 0 && th.robCount == 0
 }
 
 // Busy reports whether any context still has work.
@@ -299,7 +344,7 @@ func (p *Processor) fetch(now int64) {
 		}
 		groups++
 		anyVec := false
-		for n := 0; n < p.cfg.GroupSize && th.hasPend && len(th.fq) < p.cfg.FetchQCap; n++ {
+		for n := 0; n < p.cfg.GroupSize && th.hasPend && th.fqCount < p.cfg.FetchQCap; n++ {
 			in := th.pending
 			inf := in.Op.Info()
 			mispred := false
@@ -310,7 +355,7 @@ func (p *Processor) fetch(now int64) {
 					p.st.Mispredicts++
 				}
 			}
-			th.fq = append(th.fq, fqEntry{in: in, mispred: mispred})
+			th.fqPush(fqEntry{in: in, mispred: mispred})
 			th.frontCount++
 			th.opCount += instEquiv(&in)
 			if in.Op.IsMMX() || in.Op.IsMOM() {
@@ -340,7 +385,7 @@ func instEquiv(in *trace.Inst) int {
 func (p *Processor) canFetch(th *threadState, now int64) bool {
 	return !th.idle && th.hasPend && !th.fetchBlocked &&
 		now >= th.stallUntil && p.memsys.FetchReady(th.id) &&
-		len(th.fq)+1 <= p.cfg.FetchQCap
+		th.fqCount < p.cfg.FetchQCap
 }
 
 // vecPipeEmpty reports whether the vector pipeline has no work (used
@@ -405,13 +450,13 @@ func (p *Processor) fetchOrder(now int64) []int {
 func (p *Processor) dispatch(now int64) {
 	budget := p.cfg.DecodeWidth
 	n := p.cfg.Threads
-	var blocked [32]bool
+	var blocked [MaxHWContexts]bool
 	for budget > 0 {
 		progress := false
 		for i := 0; i < n && budget > 0; i++ {
 			ti := (p.rr + i) % n
 			th := p.threads[ti]
-			if blocked[ti] || len(th.fq) == 0 {
+			if blocked[ti] || th.fqCount == 0 {
 				continue
 			}
 			if !p.dispatchOne(th, now) {
@@ -427,6 +472,29 @@ func (p *Processor) dispatch(now int64) {
 	}
 }
 
+// Issue-queue identifiers, indexing Processor.readyCount.
+const (
+	qidInt uint8 = iota
+	qidMem
+	qidFP
+	qidSIMD
+)
+
+// dispatchQueue returns the issue queue an instruction dispatches
+// into, with its capacity and identifier.
+func (p *Processor) dispatchQueue(inf *isa.OpInfo) (*[]*uop, int, uint8) {
+	switch {
+	case inf.Mem != isa.MemNone:
+		return &p.qMem, p.cfg.MQSize, qidMem
+	case inf.Unit == isa.UnitMedia:
+		return &p.qSIMD, p.cfg.SQSize, qidSIMD
+	case inf.Class == isa.ClassFP:
+		return &p.qFP, p.cfg.FQSize, qidFP
+	default:
+		return &p.qInt, p.cfg.IQSize, qidInt
+	}
+}
+
 // dispatchOne renames the thread's oldest fetched instruction. It
 // reports false on a structural stall (window, queue or rename pool).
 func (p *Processor) dispatchOne(th *threadState, now int64) bool {
@@ -434,27 +502,24 @@ func (p *Processor) dispatchOne(th *threadState, now int64) bool {
 		p.st.ROBStalls++
 		return false
 	}
-	e := th.fq[0]
+	e := th.fqFront()
 	inf := e.in.Op.Info()
 
-	var q *[]*uop
-	var qCap int
-	switch {
-	case inf.Mem != isa.MemNone:
-		q, qCap = &p.qMem, p.cfg.MQSize
-	case inf.Unit == isa.UnitMedia:
-		q, qCap = &p.qSIMD, p.cfg.SQSize
-	case inf.Class == isa.ClassFP:
-		q, qCap = &p.qFP, p.cfg.FQSize
-	default:
-		q, qCap = &p.qInt, p.cfg.IQSize
-	}
+	q, qCap, qid := p.dispatchQueue(inf)
 	if len(*q) >= qCap {
 		p.st.QueueStalls++
 		return false
 	}
 
-	u := &uop{
+	var u *uop
+	if n := len(p.uopPool); n > 0 {
+		u = p.uopPool[n-1]
+		p.uopPool[n-1] = nil
+		p.uopPool = p.uopPool[:n-1]
+	} else {
+		u = new(uop)
+	}
+	*u = uop{
 		in:      e.in,
 		info:    inf,
 		thread:  int32(th.id),
@@ -498,10 +563,31 @@ func (p *Processor) dispatchOne(th *threadState, now int64) bool {
 		u.elemsTotal = int32(e.in.ElemCount())
 	}
 
-	th.fq = th.fq[0:copy(th.fq, th.fq[1:])]
+	th.fqPop()
 	th.robPush(u)
 	if u.isStore {
 		th.pendingStores = append(th.pendingStores, u)
+	}
+
+	// Scoreboard registration: park the uop on each outstanding source;
+	// wakeReg counts it ready when the last producer completes. A ready
+	// bit can only flip true→false through alloc, and a register is
+	// never reallocated while a consumer still waits on it (in-order
+	// retire frees the previous mapping only after all its readers have
+	// retired), so readiness memoized here stays valid.
+	u.qid = qid
+	for i := 0; i < u.nsrc; i++ {
+		if u.srcPhys[i] < 0 {
+			continue
+		}
+		f := p.rf.file(u.srcFile[i])
+		if !f.ready[u.srcPhys[i]] {
+			f.waiters[u.srcPhys[i]] = append(f.waiters[u.srcPhys[i]], u)
+			u.waitCount++
+		}
+	}
+	if u.waitCount == 0 {
+		p.readyCount[qid]++
 	}
 	*q = append(*q, u)
 	return true

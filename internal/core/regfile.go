@@ -2,19 +2,23 @@ package core
 
 import "mediasmt/internal/isa"
 
-// physFile is one shared physical register pool: a free list plus a
-// ready scoreboard. All threads allocate from the same pool (the
-// paper's shared common free register pool), which is what lets a
-// single thread use the whole machine when running alone.
+// physFile is one shared physical register pool: a free list, a ready
+// scoreboard, and per-register waiter lists (the queue entries whose
+// sources are outstanding, woken when the producer completes). All
+// threads allocate from the same pool (the paper's shared common free
+// register pool), which is what lets a single thread use the whole
+// machine when running alone.
 type physFile struct {
-	free  []int32
-	ready []bool
+	free    []int32
+	ready   []bool
+	waiters [][]*uop
 }
 
 func newPhysFile(n int) *physFile {
 	f := &physFile{
-		free:  make([]int32, 0, n),
-		ready: make([]bool, n),
+		free:    make([]int32, 0, n),
+		ready:   make([]bool, n),
+		waiters: make([][]*uop, n),
 	}
 	// Hand registers out in ascending order.
 	for i := n - 1; i >= 0; i-- {

@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRunDispatchesInTimeOrder(t *testing.T) {
+	e := New()
+	var got []int64
+	times := []int64{50, 3, 17, 3, 99, 0, 42}
+	for _, at := range times {
+		at := at
+		e.Schedule(at, func(now int64) {
+			if now != at {
+				t.Errorf("event scheduled at %d fired at %d", at, now)
+			}
+			got = append(got, now)
+		})
+	}
+	e.Run(Never)
+	want := []int64{0, 3, 3, 17, 42, 50, 99}
+	if len(got) != len(want) {
+		t.Fatalf("dispatched %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameCycleIsFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(7, func(int64) { order = append(order, i) })
+	}
+	e.Run(Never)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-cycle events ran out of schedule order at %d: %v...", i, order[:i+1])
+		}
+	}
+}
+
+func TestRunStopsStrictlyBeforeUntil(t *testing.T) {
+	e := New()
+	fired := map[int64]bool{}
+	for _, at := range []int64{0, 9, 10, 11} {
+		at := at
+		e.Schedule(at, func(int64) { fired[at] = true })
+	}
+	e.Run(10)
+	if !fired[0] || !fired[9] {
+		t.Error("events before the bound must fire")
+	}
+	if fired[10] || fired[11] {
+		t.Error("events at or after the bound must not fire")
+	}
+	if e.Len() != 2 {
+		t.Errorf("%d events left in queue, want 2", e.Len())
+	}
+	// A later Run with a larger bound resumes them.
+	e.Run(Never)
+	if !fired[10] || !fired[11] {
+		t.Error("resumed Run must dispatch the held events")
+	}
+}
+
+func TestEventsMayScheduleEvents(t *testing.T) {
+	e := New()
+	var trace []int64
+	var step Event
+	step = func(now int64) {
+		trace = append(trace, now)
+		if now < 50 {
+			e.Schedule(now+10, step)
+		}
+	}
+	e.Schedule(0, step)
+	if end := e.Run(Never); end != 50 {
+		t.Errorf("final clock %d, want 50", end)
+	}
+	if len(trace) != 6 {
+		t.Errorf("self-rescheduling chain ran %d times, want 6: %v", len(trace), trace)
+	}
+}
+
+func TestSameCycleSelfSchedulingRunsThisCycle(t *testing.T) {
+	e := New()
+	n := 0
+	e.Schedule(5, func(now int64) {
+		n++
+		e.Schedule(now, func(int64) { n++ })
+	})
+	e.Run(6)
+	if n != 2 {
+		t.Errorf("same-cycle follow-up event did not run within the bound: n=%d", n)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10, func(int64) {})
+	e.Run(Never)
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past must panic")
+		}
+	}()
+	e.Schedule(9, func(int64) {})
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling a nil event must panic")
+		}
+	}()
+	e.Schedule(0, nil)
+}
+
+func TestHeapStressRandomOrder(t *testing.T) {
+	e := New()
+	rng := rand.New(rand.NewSource(1))
+	const n = 5000
+	var got []int64
+	for i := 0; i < n; i++ {
+		at := int64(rng.Intn(1000))
+		e.Schedule(at, func(now int64) { got = append(got, now) })
+	}
+	e.Run(Never)
+	if len(got) != n {
+		t.Fatalf("dispatched %d, want %d", len(got), n)
+	}
+	for i := 1; i < n; i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("time went backwards at %d: %d after %d", i, got[i], got[i-1])
+		}
+	}
+}

@@ -54,6 +54,31 @@ func (d *dram) transferCycles() int64 {
 	return int64(beats * d.cfg.CyclesPerBeat)
 }
 
+// nextEvent reports the earliest tick >= now at which the controller
+// could start a queued request or deliver a finished read; NoEvent when
+// both the queue and the channel are empty.
+func (d *dram) nextEvent(now int64) int64 {
+	t := NoEvent
+	if len(d.queue) > 0 {
+		// tick admits a request once the bus backlog is shallow enough:
+		// busFreeAt <= tick + 2*transfer.
+		admit := d.busFreeAt - 2*d.transferCycles()
+		if admit <= now {
+			return now
+		}
+		t = admit
+	}
+	for i := range d.inflight {
+		if d.inflight[i].readyAt <= now {
+			return now
+		}
+		if d.inflight[i].readyAt < t {
+			t = d.inflight[i].readyAt
+		}
+	}
+	return t
+}
+
 // tick starts queued requests and delivers finished reads through
 // deliver. Row activation happens inside the device banks and overlaps
 // with other transfers; only the data transfer serializes on the

@@ -8,6 +8,7 @@ type Ideal struct {
 	cfg       Config
 	st        Stats
 	portsUsed int
+	portCycle int64 // cycle portsUsed counts; stale counts reset lazily
 	pending   []idealDone
 }
 
@@ -24,6 +25,10 @@ func NewIdeal(cfg Config) *Ideal {
 // Access implements System. Loads complete after the L1 hit latency;
 // stores are absorbed immediately.
 func (m *Ideal) Access(now int64, r Request) bool {
+	if now != m.portCycle {
+		m.portCycle = now
+		m.portsUsed = 0
+	}
 	if m.portsUsed >= m.cfg.GeneralPorts {
 		m.st.PortRejects++
 		return false
@@ -50,8 +55,18 @@ func (m *Ideal) Access(now int64, r Request) bool {
 
 // Drain implements System.
 func (m *Ideal) Drain(now int64, fn func(Completion)) {
-	w := 0
-	for _, p := range m.pending {
+	i := 0
+	for ; i < len(m.pending); i++ {
+		if m.pending[i].readyAt <= now {
+			break
+		}
+	}
+	if i == len(m.pending) {
+		return
+	}
+	w := i
+	for ; i < len(m.pending); i++ {
+		p := m.pending[i]
 		if p.readyAt <= now {
 			fn(p.c)
 		} else {
@@ -72,8 +87,25 @@ func (m *Ideal) FetchLine(now int64, thread int, pc uint64) FetchResult {
 // FetchReady implements System.
 func (m *Ideal) FetchReady(thread int) bool { return true }
 
-// Tick implements System.
-func (m *Ideal) Tick(now int64) { m.portsUsed = 0 }
+// Tick implements System. Port arbitration is keyed to the access
+// cycle (see Access), so ticking has nothing left to reset and idle
+// cycles may be skipped entirely.
+func (m *Ideal) Tick(now int64) {}
+
+// NextEvent implements System: the only future activity of a perfect
+// memory is delivering its pending load completions.
+func (m *Ideal) NextEvent(now int64) int64 {
+	t := NoEvent
+	for _, p := range m.pending {
+		if p.readyAt <= now {
+			return now
+		}
+		if p.readyAt < t {
+			t = p.readyAt
+		}
+	}
+	return t
+}
 
 // Stats implements System.
 func (m *Ideal) Stats() *Stats { return &m.st }

@@ -12,6 +12,8 @@
 //     (paper §5.4, Fig. 7b).
 package mem
 
+import "math"
+
 // Request is one element-level data access issued by the core. Stream
 // (vector) memory instructions are expanded by the core into one
 // Request per element.
@@ -42,12 +44,23 @@ const (
 	FetchBusy
 )
 
+// NoEvent is NextEvent's sentinel for a fully quiescent memory system:
+// no pending completion, no queued work, nothing in flight.
+const NoEvent = int64(math.MaxInt64)
+
 // System is the memory-system interface consumed by the pipeline.
 //
 // Protocol per cycle t: the core first calls Drain to collect load
 // completions with ready time <= t, then issues Access/FetchLine calls
 // for cycle t (each may be refused, in which case the core retries on a
 // later cycle), and finally calls Tick(t) to advance the system state.
+//
+// The per-cycle protocol may skip idle cycles: when NextEvent(t)
+// returns a cycle t' > t, the caller may jump straight to t' without
+// calling Drain/Tick for the cycles in between, and the system behaves
+// exactly as if it had been ticked through them. Per-cycle port and
+// bank arbitration therefore resets on the first access of each new
+// cycle, not in Tick.
 type System interface {
 	// Access attempts to start a data access in cycle now. A false
 	// return means a structural hazard (port, bank, MSHR or write
@@ -62,6 +75,13 @@ type System interface {
 	FetchReady(thread int) bool
 	// Tick advances the memory system at the end of cycle now.
 	Tick(now int64)
+	// NextEvent reports the earliest cycle >= now at which the system
+	// could make observable progress — complete a load, move an internal
+	// queue, drain the write buffer, start or deliver a DRAM transfer —
+	// assuming no new Access/FetchLine calls arrive before then. It
+	// returns NoEvent when the system is quiescent. Skipping Drain/Tick
+	// for every cycle in [now, NextEvent(now)) is safe and exact.
+	NextEvent(now int64) int64
 	// Stats exposes the accumulated statistics.
 	Stats() *Stats
 }

@@ -89,7 +89,10 @@ type Real struct {
 	icLineShift uint
 	l2LineShift uint
 
-	// Per-cycle port and bank usage (reset by Tick).
+	// Per-cycle port and bank usage, keyed to useCycle: the counters
+	// reset lazily on the first Access/FetchLine of a new cycle (not in
+	// Tick), so skipping idle cycles cannot leave stale claims behind.
+	useCycle   int64
 	genUsed    int
 	scaUsed    int
 	vecUsed    int
@@ -153,8 +156,26 @@ func (m *Real) wbFind(line uint64) int {
 
 func (m *Real) l2qLen() int { return len(m.l2q) + len(m.l2qIn) }
 
+// syncCycle resets the per-cycle port and bank arbitration when the
+// clock has moved since the last access. Idle cycles need no reset
+// call, which is what lets the event engine skip them.
+func (m *Real) syncCycle(now int64) {
+	if now == m.useCycle {
+		return
+	}
+	m.useCycle = now
+	m.genUsed, m.scaUsed, m.vecUsed, m.icPorts = 0, 0, 0, 0
+	for i := range m.l1BankUsed {
+		m.l1BankUsed[i] = false
+	}
+	for i := range m.icBankUsed {
+		m.icBankUsed[i] = false
+	}
+}
+
 // Access implements System.
 func (m *Real) Access(now int64, r Request) bool {
+	m.syncCycle(now)
 	if m.cfg.Mode == ModeDecoupled && r.Vector {
 		return m.vectorAccess(now, r)
 	}
@@ -437,8 +458,20 @@ func (m *Real) noteVecLoadDone(tag uint64, now int64, lat int32) {
 
 // Drain implements System.
 func (m *Real) Drain(now int64, fn func(Completion)) {
-	w := 0
-	for _, p := range m.done {
+	// Read-only scan first: most cycles deliver nothing, and the no-op
+	// rewrite is pure overhead.
+	i := 0
+	for ; i < len(m.done); i++ {
+		if m.done[i].readyAt <= now {
+			break
+		}
+	}
+	if i == len(m.done) {
+		return
+	}
+	w := i
+	for ; i < len(m.done); i++ {
+		p := m.done[i]
 		if p.readyAt <= now {
 			fn(p.c)
 		} else {
@@ -451,6 +484,7 @@ func (m *Real) Drain(now int64, fn func(Completion)) {
 
 // FetchLine implements System.
 func (m *Real) FetchLine(now int64, thread int, pc uint64) FetchResult {
+	m.syncCycle(now)
 	if m.icm[thread].valid {
 		return FetchBusy
 	}
@@ -539,14 +573,59 @@ func (m *Real) Tick(now int64) {
 		}
 	}
 
-	// Reset per-cycle arbitration state.
-	m.genUsed, m.scaUsed, m.vecUsed, m.icPorts = 0, 0, 0, 0
-	for i := range m.l1BankUsed {
-		m.l1BankUsed[i] = false
+	// Per-cycle arbitration state resets lazily in syncCycle, so an
+	// idle (skipped) cycle needs no Tick at all.
+}
+
+// NextEvent implements System. Per-cycle-rate activities — draining the
+// inbox or the write buffer, retrying an unsent L2 MSHR — pin the next
+// event to now; purely latency-bound activities (a started L2 access, a
+// DRAM transfer in flight, a pending completion) report their ready
+// time, which is what lets the core jump over memory-bound stalls.
+func (m *Real) NextEvent(now int64) int64 {
+	t := NoEvent
+	min := func(v int64) {
+		if v < t {
+			t = v
+		}
 	}
-	for i := range m.icBankUsed {
-		m.icBankUsed[i] = false
+	for i := range m.done {
+		if m.done[i].readyAt <= now {
+			return now
+		}
+		min(m.done[i].readyAt)
 	}
+	if len(m.l2qIn) > 0 {
+		return now // the inbox drains on the next tick
+	}
+	for i := range m.l2q {
+		rq := &m.l2q[i]
+		if !rq.started {
+			// Starts as soon as its bank frees.
+			bank := int((rq.addr >> m.l2LineShift) & uint64(m.cfg.L2Banks-1))
+			if m.l2Bank[bank] <= now {
+				return now
+			}
+			min(m.l2Bank[bank])
+			continue
+		}
+		if rq.readyAt <= now {
+			return now // resolves (or retries resolution) next tick
+		}
+		min(rq.readyAt)
+	}
+	for i := range m.l2m {
+		if m.l2m[i].valid && !m.l2m[i].sentDRAM {
+			return now // retries the DRAM controller queue every tick
+		}
+	}
+	for i := range m.wb {
+		if m.wb[i].valid {
+			return now // the write buffer drains one entry per tick
+		}
+	}
+	min(m.dram.nextEvent(now))
+	return t
 }
 
 // resolveL2 completes one L2 access: on hit it performs the request's

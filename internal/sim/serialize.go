@@ -7,12 +7,19 @@ import (
 )
 
 // Version fingerprints the simulator's result semantics. Any change
-// that alters what a simulation produces for a given Config — pipeline
+// that alters — or could alter — what a simulation produces for a
+// given Config must bump this, so persisted results from older
+// binaries are never mistaken for current ones. That covers pipeline
 // behaviour, memory timing, workload generation, the Result layout
-// itself — must bump this, so persisted results from older binaries
-// are never mistaken for current ones. The on-disk cache folds it into
-// its entry fingerprint (see internal/cache.Fingerprint).
-const Version = "mediasmt-sim-v1"
+// itself, and simulation-engine restructurings even when they are
+// proven result-identical (v2: the event-driven engine replaced the
+// tick loop; results are equivalence-tested against the reference, but
+// stale entries must not outlive the proof's scope). Documentation-
+// only or performance-only changes that cannot touch results (and
+// leave the run loop's observable schedule intact) do not bump it. The
+// on-disk cache folds it into its entry fingerprint (see
+// internal/cache.Fingerprint).
+const Version = "mediasmt-sim-v2"
 
 // EncodeResult renders r as stable JSON: encoding/json emits struct
 // fields in declaration order, so the same Result always serializes to

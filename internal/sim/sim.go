@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"mediasmt/internal/core"
+	"mediasmt/internal/engine"
 	"mediasmt/internal/mem"
 	"mediasmt/internal/workload"
 )
@@ -121,12 +122,51 @@ func (c *Config) variant() workload.Variant {
 	return workload.MMX
 }
 
-// Run executes one multiprogrammed simulation.
-func Run(cfg Config) (*Result, error) {
+// Run executes one multiprogrammed simulation on the event-driven
+// engine: the processor runs pipeline cycles only at cycles where work
+// can exist and jumps over provably idle spans (see core.NextWakeup).
+// The win scales with the fraction of idle cycles in the run — largest
+// on single-thread memory-bound configurations, smaller at high thread
+// counts where some context nearly always has work. Results are
+// identical to the retained per-cycle reference engine (RunReference);
+// the equivalence is enforced by the cross-engine test matrix in this
+// package.
+func Run(cfg Config) (*Result, error) { return run(cfg, engineEvent) }
+
+// RunReference executes the same simulation on the original per-cycle
+// tick loop. It is retained as the behavioural oracle for the event
+// engine: slow, but every cycle is explicit. Use it in tests and when
+// bisecting a suspected event-scheduling bug; production paths should
+// call Run.
+func RunReference(cfg Config) (*Result, error) { return run(cfg, engineTick) }
+
+// engineKind selects the run loop; results must not depend on it.
+type engineKind uint8
+
+const (
+	// engineEvent jumps between processor wakeups on an event queue.
+	engineEvent engineKind = iota
+	// engineTick executes every cycle explicitly (the reference).
+	engineTick
+)
+
+func run(cfg Config, kind engineKind) (*Result, error) {
 	cfg = cfg.Normalize()
 	order := cfg.Programs
 	if order == nil {
 		order = workload.RunOrder
+	}
+
+	// Resolve every program up front so a bad Programs override is a
+	// config error attributed to this run, not a panic inside the
+	// scheduler's worker.
+	benches := make([]*workload.Benchmark, len(order))
+	for i, name := range order {
+		b, err := workload.Get(name)
+		if err != nil {
+			return nil, fmt.Errorf("sim: program list: %w", err)
+		}
+		benches[i] = b
 	}
 
 	ccfg := core.ConfigForThreads(cfg.ISA, cfg.Threads)
@@ -158,11 +198,7 @@ func Run(cfg Config) (*Result, error) {
 	primaryOn := make([]int, cfg.Threads)
 
 	launch := func(ctx int) {
-		name := order[started%len(order)]
-		b, err2 := workload.Get(name)
-		if err2 != nil {
-			panic(err2)
-		}
+		b := benches[started%len(order)]
 		base := uint64(started+1) << 33 // private address space per instance
 		prog := b.Program(v, cfg.Seed+uint64(started)*7919, base, cfg.Scale)
 		p.SetProgram(ctx, prog, b.EIPCFactor(v))
@@ -174,12 +210,13 @@ func Run(cfg Config) (*Result, error) {
 		started++
 	}
 
-	for t := 0; t < cfg.Threads; t++ {
-		launch(t)
-	}
-
-	for p.Now() < cfg.MaxCycles && completedPrimary < primaries {
-		p.Cycle()
+	// relaunchDrained is the §5.1 wrap-around scan the tick loop ran
+	// after every cycle: count finished primaries and start the next
+	// program of the list on each freed context. It reports whether a
+	// context is still drained afterwards (a zero-length program), in
+	// which case the caller must scan again next cycle, exactly as the
+	// per-cycle loop would.
+	relaunchDrained := func() (stillDrained bool) {
 		for t := 0; t < cfg.Threads; t++ {
 			if !p.ContextDrained(t) {
 				continue
@@ -190,7 +227,50 @@ func Run(cfg Config) (*Result, error) {
 			}
 			if completedPrimary < primaries {
 				launch(t)
+				if p.ContextDrained(t) {
+					stillDrained = true
+				}
 			}
+		}
+		return stillDrained
+	}
+
+	for t := 0; t < cfg.Threads; t++ {
+		launch(t)
+	}
+
+	switch kind {
+	case engineTick:
+		for p.Now() < cfg.MaxCycles && completedPrimary < primaries {
+			p.Cycle()
+			relaunchDrained()
+		}
+	case engineEvent:
+		eng := engine.New()
+		scanPending := false
+		var step engine.Event
+		step = func(now int64) {
+			p.AdvanceTo(now)
+			p.Cycle()
+			if p.TakeDrainSignal() || scanPending {
+				scanPending = relaunchDrained()
+			}
+			if completedPrimary >= primaries {
+				return // run complete: let the queue drain
+			}
+			wake := p.NextWakeup()
+			if scanPending && now+1 < wake {
+				wake = now + 1 // a drained context relaunches per cycle
+			}
+			eng.Schedule(wake, step)
+		}
+		eng.Schedule(0, step)
+		eng.Run(cfg.MaxCycles)
+		if completedPrimary < primaries {
+			// The tick loop burns idle cycles up to the cap before
+			// giving up; account them so both engines report the same
+			// cycle counts on the incomplete path.
+			p.AdvanceTo(cfg.MaxCycles)
 		}
 	}
 
