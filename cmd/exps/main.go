@@ -5,6 +5,7 @@
 //	exps [-run table3,fig4,...|all] [-scale 1.0] [-seed 12345]
 //	     [-j N] [-max-cycles N] [-json|-csv] [-v] [-remote URL[,URL...]]
 //	     [-cache-dir DIR] [-no-cache] [-cache-prune] [-fingerprint]
+//	     [-metrics]
 //
 // Every simulation the requested experiments need is deduplicated and
 // fanned out over -j workers (default GOMAXPROCS) before the artifacts
@@ -59,6 +60,8 @@ import (
 	"mediasmt/internal/cliflags"
 	"mediasmt/internal/dist"
 	"mediasmt/internal/exp"
+	"mediasmt/internal/metrics"
+	"mediasmt/internal/obs"
 )
 
 func main() {
@@ -76,6 +79,7 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable the on-disk result cache")
 	cachePrune := flag.Bool("cache-prune", false, "drop all cache entries except the current fingerprint's, then exit")
 	fingerprint := flag.Bool("fingerprint", false, "print the cache fingerprint (cache format + simulator version), then exit")
+	metricsOut := flag.Bool("metrics", false, "instrument the run (pipeline sampling included) and dump the metrics snapshot as JSON to stderr after the summary")
 	flag.Parse()
 
 	if *fingerprint {
@@ -125,6 +129,14 @@ func main() {
 	// worker pool by default, the -remote workers when coordinating.
 	// Everything downstream — scheduler, cache, failure domains,
 	// emitters — is identical either way.
+	// -metrics instruments the whole stack on one registry: in-sim
+	// pipeline/memory sampling (obs.SimRunner), pool or peer activity
+	// (dist) and engine aggregates (exp). reg stays nil otherwise, and
+	// every instrument no-ops.
+	var reg *metrics.Registry
+	if *metricsOut {
+		reg = metrics.New()
+	}
 	var runner *exp.Runner
 	if *remote != "" {
 		peers, err := cliflags.Peers("-remote", *remote)
@@ -132,15 +144,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "exps: %v\n", err)
 			os.Exit(2)
 		}
-		rex, err := dist.NewRemote(peers, dist.RemoteOptions{Workers: *workers, Timeout: *remoteTimeout})
+		rex, err := dist.NewRemote(peers, dist.RemoteOptions{Workers: *workers, Timeout: *remoteTimeout, Metrics: reg})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "exps: %v\n", err)
 			os.Exit(2)
 		}
 		runner = exp.NewRunnerExecutor(rex, store)
 	} else {
-		runner = exp.NewRunner(*workers, store)
+		runner = exp.NewRunnerExecutor(dist.NewLocalFunc(*workers, obs.SimRunner(reg)).Instrument(reg), store)
 	}
+	runner.Instrument(reg)
 	suite, err := runner.NewSuite(exp.Options{Scale: *scale, Seed: *seed, Workers: *workers, MaxCycles: *maxCycles})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "exps: %v\n", err)
@@ -205,6 +218,14 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "exps: %d experiments (%d failed), %d simulations (%d failed configs), %d workers, %s, %.1fs total\n",
 			len(rs.Experiments), rs.Failed, rs.Simulations, rs.FailedSims, rs.Workers, cacheNote, rs.WallSeconds)
+	}
+	if reg != nil {
+		// The snapshot's counters reconcile exactly with the summary line
+		// above: mediasmt_sims_executed_total is rs.Simulations, the
+		// cache counters are the cache note's numbers.
+		if err := reg.WriteJSON(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "exps: metrics: %v\n", err)
+		}
 	}
 
 	// A partial result set still emits, so completed simulations

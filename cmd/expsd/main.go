@@ -24,6 +24,8 @@
 //	curl -N :8344/v1/jobs/job-1/events        # SSE progress until done
 //	curl -s :8344/v1/jobs/job-1               # status + per-config errors
 //	curl -s ':8344/v1/jobs/job-1/results?format=csv'
+//	curl -s :8344/v1/metrics                  # Prometheus text (?format=json)
+//	curl -s :8344/v1/healthz                  # status + engine metadata
 //
 // Every expsd is also a worker: POST /v1/sims executes one simulation
 // config through the shared pool and cache and returns the encoded
@@ -55,6 +57,8 @@ import (
 	"mediasmt/internal/cliflags"
 	"mediasmt/internal/dist"
 	"mediasmt/internal/exp"
+	"mediasmt/internal/metrics"
+	"mediasmt/internal/obs"
 	"mediasmt/internal/serve"
 )
 
@@ -88,6 +92,12 @@ func main() {
 		store = nil
 	}
 
+	// One registry covers the whole process — pipeline/memory sampling
+	// inside each simulation (obs.SimRunner), pool saturation (dist),
+	// engine aggregates (exp) and the HTTP layer (serve) — and is
+	// scraped from GET /v1/metrics.
+	reg := metrics.New()
+	local := dist.NewLocalFunc(*workers, obs.SimRunner(reg)).Instrument(reg)
 	var runner *exp.Runner
 	poolNote := "local pool"
 	if *peersFlag != "" {
@@ -96,7 +106,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "expsd: %v\n", err)
 			os.Exit(2)
 		}
-		pool, err := dist.NewPool(urls, dist.RemoteOptions{Timeout: *peerTimeout}, dist.NewLocal(*workers))
+		pool, err := dist.NewPool(urls, dist.RemoteOptions{Timeout: *peerTimeout, Metrics: reg}, local)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "expsd: %v\n", err)
 			os.Exit(2)
@@ -104,9 +114,10 @@ func main() {
 		runner = exp.NewRunnerExecutor(pool, store)
 		poolNote = fmt.Sprintf("%d peers + local failover", len(urls))
 	} else {
-		runner = exp.NewRunner(*workers, store)
+		runner = exp.NewRunnerExecutor(local, store)
 	}
-	srv := serve.New(serve.Config{Runner: runner, MaxJobs: *maxJobs})
+	runner.Instrument(reg)
+	srv := serve.New(serve.Config{Runner: runner, MaxJobs: *maxJobs, Metrics: reg})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

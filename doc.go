@@ -54,6 +54,24 @@
 // offending config keys in its status view while every unaffected
 // experiment still renders.
 //
+// The HTTP surface is versioned as "API v1" (see internal/serve):
+// every non-2xx response is the one JSON error envelope
+// {"error":{"code":...,"message":...}} with a stable machine code,
+// GET /v1/healthz (legacy alias /healthz) and GET /v1/fingerprint
+// share one status payload, GET /v1/jobs filters with ?status=, and
+// GET /v1/metrics exposes process metrics in Prometheus text or JSON.
+//
+// Observability is strictly additive (internal/metrics, internal/obs):
+// a dependency-free registry of atomic counters/gauges/histograms
+// collects sampled pipeline occupancy, dispatch-stall classes and
+// cache/DRAM events from hooks that fire every N executed cycles —
+// off the event engine's NextWakeup path, so results are bit-identical
+// with sampling on or off and sim.Version is unchanged — plus pool
+// saturation, per-peer request latencies, and engine counters that
+// reconcile exactly with the exps summary (mediasmt_sims_executed_total
+// is the summary's simulation count). expsd always serves its registry
+// on /v1/metrics; exps -metrics dumps the JSON snapshot to stderr.
+//
 // Where a simulation runs is a pluggable policy (internal/dist):
 // every expsd is a worker (POST /v1/sims executes one config through
 // its pool and cache), `exps -remote URL[,URL...]` coordinates a run

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"mediasmt/internal/metrics"
 	"mediasmt/internal/sim"
 )
 
@@ -18,6 +19,13 @@ type Local struct {
 	limit int           // this view's concurrency cap (<= cap(sem))
 	run   func(sim.Config) (*sim.Result, error)
 	sims  atomic.Int64 // successful executions through this view
+
+	// Process-wide instruments, shared across Limit views so pool
+	// saturation aggregates over every job; nil (no-op) when the pool
+	// is uninstrumented.
+	simsC     *metrics.Counter
+	failC     *metrics.Counter
+	inflightG *metrics.Gauge
 }
 
 // NewLocal builds a local executor with the given pool size (0 or
@@ -34,6 +42,22 @@ func NewLocalFunc(workers int, run func(sim.Config) (*sim.Result, error)) *Local
 	return &Local{sem: make(chan struct{}, workers), limit: workers, run: run}
 }
 
+// Instrument attaches process-wide pool metrics: executed/failed
+// simulation counters, an in-flight gauge (pool saturation when read
+// against the pool-size gauge). Views derived with Limit — before or
+// after this call — share the instruments. A nil registry is a no-op.
+// Call once, before the pool starts executing.
+func (l *Local) Instrument(reg *metrics.Registry) *Local {
+	if reg == nil {
+		return l
+	}
+	l.simsC = reg.Counter("mediasmt_pool_sims_total", "simulations executed by the local pool")
+	l.failC = reg.Counter("mediasmt_pool_sim_failures_total", "local pool simulations that returned an error")
+	l.inflightG = reg.Gauge("mediasmt_pool_inflight", "simulations currently executing in the local pool")
+	reg.Gauge("mediasmt_pool_size", "local pool execution slots").Set(int64(cap(l.sem)))
+	return l
+}
+
 // Execute claims a pool slot (honouring ctx while waiting) and runs
 // cfg to completion. The slot is released even if the simulation
 // panics, so a poisoned config can never leak pool capacity; the
@@ -44,10 +68,17 @@ func (l *Local) Execute(ctx context.Context, cfg sim.Config) (*sim.Result, error
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
-	defer func() { <-l.sem }()
+	l.inflightG.Add(1)
+	defer func() {
+		<-l.sem
+		l.inflightG.Add(-1)
+	}()
 	r, err := l.run(cfg)
 	if err == nil {
 		l.sims.Add(1)
+		l.simsC.Inc()
+	} else {
+		l.failC.Inc()
 	}
 	return r, err
 }
@@ -68,5 +99,8 @@ func (l *Local) limited(n int) *Local {
 	if n <= 0 || n > cap(l.sem) {
 		n = cap(l.sem)
 	}
-	return &Local{sem: l.sem, limit: n, run: l.run}
+	return &Local{
+		sem: l.sem, limit: n, run: l.run,
+		simsC: l.simsC, failC: l.failC, inflightG: l.inflightG,
+	}
 }

@@ -1,0 +1,128 @@
+package dist
+
+import (
+	"context"
+	"net/http"
+	"testing"
+
+	"mediasmt/internal/metrics"
+	"mediasmt/internal/sim"
+)
+
+func peerCounter(reg *metrics.Registry, name, peer string) int64 {
+	return reg.Counter(name, "", metrics.L("peer", peer)).Value()
+}
+
+// TestRemoteMetricsPerPeer: every request counts against the peer that
+// served (or failed) it, retries count once per extra attempt, and the
+// latency histogram observes every request.
+func TestRemoteMetricsPerPeer(t *testing.T) {
+	bad := workerStub(t, func(w http.ResponseWriter, cfg sim.Config) bool {
+		http.Error(w, `{"error":{"code":"internal","message":"worker exploded"}}`, http.StatusInternalServerError)
+		return true
+	})
+	good := workerStub(t, nil)
+	reg := metrics.New()
+	r, err := NewRemote([]string{bad.URL, good.URL}, RemoteOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run several keys; each lands on its hash-home first, so both
+	// peers see traffic and every bad-first key retries onto good.
+	execs := 0
+	for threads := 1; threads <= 8; threads *= 2 {
+		if _, err := r.Execute(context.Background(), testConfig(threads)); err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		execs++
+	}
+
+	badReqs := peerCounter(reg, "mediasmt_peer_requests_total", bad.URL)
+	goodReqs := peerCounter(reg, "mediasmt_peer_requests_total", good.URL)
+	badFails := peerCounter(reg, "mediasmt_peer_failures_total", bad.URL)
+	retries := reg.Counter("mediasmt_peer_retries_total", "").Value()
+
+	if goodReqs != int64(execs) {
+		t.Errorf("good peer requests = %d, want %d (all configs end there)", goodReqs, execs)
+	}
+	if badReqs != badFails {
+		t.Errorf("bad peer: %d requests but %d failures — every attempt must fail", badReqs, badFails)
+	}
+	if retries != badReqs {
+		t.Errorf("retries = %d, want %d (one retry per bad-first attempt)", retries, badReqs)
+	}
+	if got := reg.Histogram("mediasmt_peer_request_seconds", "", nil, metrics.L("peer", good.URL)).Count(); got != goodReqs {
+		t.Errorf("good peer latency observations = %d, want %d", got, goodReqs)
+	}
+
+	// A simulation failure (422) is not a peer failure: the peer served
+	// the request correctly.
+	failing := workerStub(t, func(w http.ResponseWriter, cfg sim.Config) bool {
+		http.Error(w, `{"error":{"code":"sim_failed","message":"hit MaxCycles"}}`, http.StatusUnprocessableEntity)
+		return true
+	})
+	r2, err := NewRemote([]string{failing.URL}, RemoteOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Execute(context.Background(), testConfig(2)); err == nil {
+		t.Fatal("want SimFailure")
+	}
+	if got := peerCounter(reg, "mediasmt_peer_failures_total", failing.URL); got != 0 {
+		t.Errorf("422 counted as a peer failure (%d)", got)
+	}
+	if got := peerCounter(reg, "mediasmt_peer_requests_total", failing.URL); got != 1 {
+		t.Errorf("422 request not counted (%d)", got)
+	}
+}
+
+// TestPoolFailoverMetric: a down home peer increments the failover
+// counter exactly once per locally recovered config.
+func TestPoolFailoverMetric(t *testing.T) {
+	down := workerStub(t, func(w http.ResponseWriter, cfg sim.Config) bool {
+		http.Error(w, "unavailable", http.StatusServiceUnavailable)
+		return true
+	})
+	reg := metrics.New()
+	local := NewLocalFunc(2, func(cfg sim.Config) (*sim.Result, error) {
+		return stubResult(cfg), nil
+	}).Instrument(reg)
+	p, err := NewPool([]string{down.URL}, RemoteOptions{Metrics: reg}, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	for i := 0; i < n; i++ {
+		if _, err := p.Execute(context.Background(), testConfig(1<<i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("mediasmt_pool_failovers_total", "").Value(); got != n {
+		t.Errorf("pool_failovers_total = %d, want %d", got, n)
+	}
+	if got := reg.Counter("mediasmt_pool_sims_total", "").Value(); got != n {
+		t.Errorf("pool_sims_total = %d, want %d (failovers execute locally)", got, n)
+	}
+}
+
+// TestErrorBodyEnvelopeAndLegacy: the coordinator parses both the v1
+// error envelope and the legacy string form, so mixed-version fleets
+// keep readable errors.
+func TestErrorBodyEnvelopeAndLegacy(t *testing.T) {
+	cases := []struct {
+		body string
+		want string
+	}{
+		{`{"error":{"code":"bad_request","message":"threads out of range"}}`, "threads out of range"},
+		{`{"error":"legacy message"}`, "legacy message"},
+		{`plain text`, "plain text"},
+		{``, "empty response body"},
+		{`{"error":{}}`, `{"error":{}}`}, // envelope without message: raw fallback
+	}
+	for _, c := range cases {
+		if got := errorBody([]byte(c.body)); got != c.want {
+			t.Errorf("errorBody(%q) = %q, want %q", c.body, got, c.want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"mediasmt/internal/metrics"
 	"mediasmt/internal/sim"
 )
 
@@ -15,9 +16,10 @@ import (
 // deterministic, and retrying locally would only pay for the same
 // error twice.
 type Pool struct {
-	peers   []*Remote // one single-peer Remote per worker, in shard order
-	local   *Local
-	workers int
+	peers    []*Remote // one single-peer Remote per worker, in shard order
+	local    *Local
+	workers  int
+	failover *metrics.Counter // peer-down local fallbacks; no-op when uninstrumented
 }
 
 // NewPool builds a sharding executor over the worker base URLs with
@@ -41,7 +43,12 @@ func NewPool(peerURLs []string, o RemoteOptions, local *Local) (*Pool, error) {
 		peers[i] = rem
 		total += rem.Workers()
 	}
-	return &Pool{peers: peers, local: local, workers: total}, nil
+	p := &Pool{peers: peers, local: local, workers: total}
+	if o.Metrics != nil {
+		p.failover = o.Metrics.Counter("mediasmt_pool_failovers_total",
+			"simulations executed locally because their home peer failed")
+	}
+	return p, nil
 }
 
 // Execute routes cfg to its home peer and falls back to local
@@ -63,6 +70,7 @@ func (p *Pool) Execute(ctx context.Context, cfg sim.Config) (*sim.Result, error)
 	if !retryable(err) || ctx.Err() != nil {
 		return nil, err
 	}
+	p.failover.Inc()
 	return p.local.Execute(ctx, cfg)
 }
 
@@ -81,5 +89,5 @@ func (p *Pool) Limit(n int) Executor {
 	if n <= 0 || n > p.workers {
 		n = p.workers
 	}
-	return &Pool{peers: p.peers, local: p.local.limited(0), workers: n}
+	return &Pool{peers: p.peers, local: p.local.limited(0), workers: n, failover: p.failover}
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mediasmt/internal/cache"
+	"mediasmt/internal/metrics"
 	"mediasmt/internal/sim"
 )
 
@@ -61,6 +62,26 @@ type RemoteOptions struct {
 	// current cache.Fingerprint(). Tests use it to emulate version
 	// skew.
 	Fingerprint string
+	// Metrics, when non-nil, receives per-peer request/failure
+	// counters, retry counts, latency buckets — and, through NewPool,
+	// the pool's failover counter.
+	Metrics *metrics.Registry
+}
+
+// peerInstruments is one peer's request accounting; all fields no-op
+// when the executor is uninstrumented.
+type peerInstruments struct {
+	requests *metrics.Counter
+	failures *metrics.Counter
+	latency  *metrics.Histogram
+}
+
+func newPeerInstruments(reg *metrics.Registry, peer string) peerInstruments {
+	return peerInstruments{
+		requests: reg.Counter("mediasmt_peer_requests_total", "worker requests issued, by peer", metrics.L("peer", peer)),
+		failures: reg.Counter("mediasmt_peer_failures_total", "worker requests that failed (peer errors, not simulation failures), by peer", metrics.L("peer", peer)),
+		latency:  reg.Histogram("mediasmt_peer_request_seconds", "worker request wall time, by peer", nil, metrics.L("peer", peer)),
+	}
 }
 
 // Remote executes simulations on worker expsd processes: it POSTs the
@@ -76,6 +97,9 @@ type Remote struct {
 	timeout time.Duration
 	fp      string
 	workers int
+
+	ins     map[string]peerInstruments // by peer URL; nil when uninstrumented
+	retries *metrics.Counter
 }
 
 // NewRemote builds a remote executor over one or more worker base
@@ -108,7 +132,16 @@ func NewRemote(peers []string, o RemoteOptions) (*Remote, error) {
 	if fp == "" {
 		fp = cache.Fingerprint()
 	}
-	return &Remote{peers: cleaned, client: client, timeout: timeout, fp: fp, workers: workers}, nil
+	r := &Remote{peers: cleaned, client: client, timeout: timeout, fp: fp, workers: workers}
+	if o.Metrics != nil {
+		r.ins = make(map[string]peerInstruments, len(cleaned))
+		for _, p := range cleaned {
+			r.ins[p] = newPeerInstruments(o.Metrics, p)
+		}
+		r.retries = o.Metrics.Counter("mediasmt_peer_retries_total",
+			"worker requests retried on another peer after a peer failure")
+	}
+	return r, nil
 }
 
 // SimFailure reports that a worker executed the simulation and the
@@ -175,6 +208,9 @@ func (r *Remote) Execute(ctx context.Context, cfg sim.Config) (*sim.Result, erro
 	var attempts []error
 	for i := range r.peers {
 		peer := r.peers[(start+i)%len(r.peers)]
+		if i > 0 {
+			r.retries.Inc()
+		}
 		res, err := r.post(ctx, peer, body)
 		if err == nil {
 			return res, nil
@@ -194,7 +230,18 @@ func (r *Remote) Execute(ctx context.Context, cfg sim.Config) (*sim.Result, erro
 }
 
 // post issues one worker request under the per-request timeout.
-func (r *Remote) post(ctx context.Context, peer string, body []byte) (*sim.Result, error) {
+func (r *Remote) post(ctx context.Context, peer string, body []byte) (res *sim.Result, err error) {
+	ins := r.ins[peer] // zero-valued (no-op) instruments when uninstrumented
+	ins.requests.Inc()
+	start := time.Now()
+	defer func() {
+		ins.latency.Observe(time.Since(start).Seconds())
+		var pe *PeerError
+		if errors.As(err, &pe) {
+			ins.failures.Inc()
+		}
+	}()
+
 	rctx, cancel := context.WithTimeout(ctx, r.timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(rctx, http.MethodPost, peer+SimsPath, bytes.NewReader(body))
@@ -227,14 +274,27 @@ func (r *Remote) post(ctx context.Context, peer string, body []byte) (*sim.Resul
 	}
 }
 
-// errorBody extracts the service's {"error": ...} message, falling
-// back to the (truncated) raw body for non-JSON answers.
+// errorBody extracts the service's error message. The v1 API wraps
+// errors in an envelope — {"error":{"code":...,"message":...}} — but
+// older daemons answered {"error":"..."}; both parse, and non-JSON
+// answers fall back to the (truncated) raw body, so a coordinator can
+// talk to workers across the envelope migration.
 func errorBody(data []byte) string {
-	var e struct {
-		Error string `json:"error"`
+	var env struct {
+		Error json.RawMessage `json:"error"`
 	}
-	if json.Unmarshal(data, &e) == nil && e.Error != "" {
-		return e.Error
+	if json.Unmarshal(data, &env) == nil && len(env.Error) > 0 {
+		var obj struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		}
+		if json.Unmarshal(env.Error, &obj) == nil && obj.Message != "" {
+			return obj.Message
+		}
+		var s string
+		if json.Unmarshal(env.Error, &s) == nil && s != "" {
+			return s
+		}
 	}
 	const max = 256
 	s := strings.TrimSpace(string(data))

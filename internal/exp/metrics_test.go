@@ -1,0 +1,165 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mediasmt/internal/cache"
+	"mediasmt/internal/dist"
+	"mediasmt/internal/metrics"
+	"mediasmt/internal/sim"
+)
+
+// counterVal reads a process counter back out of the registry.
+func counterVal(reg *metrics.Registry, name string, labels ...metrics.Label) int64 {
+	return reg.Counter(name, "", labels...).Value()
+}
+
+// TestMetricsReconcileWithResultSet pins the acceptance criterion: an
+// instrumented run's counters must reconcile exactly with the fields
+// the stderr summary and the job view are rendered from — sims
+// executed, cache hits/misses/writes, failed experiments.
+func TestMetricsReconcileWithResultSet(t *testing.T) {
+	reg := metrics.New()
+	c, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(2, c).Instrument(reg)
+	suite, err := r.NewSuite(Options{Scale: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := suite.RunExperimentsContext(context.Background(), []string{"fig4", "table1"}, Progress{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Simulations == 0 {
+		t.Fatal("cold run executed no simulations")
+	}
+	if got := counterVal(reg, "mediasmt_sims_executed_total"); got != rs.Simulations {
+		t.Errorf("sims_executed_total = %d, ResultSet.Simulations = %d", got, rs.Simulations)
+	}
+	if got := counterVal(reg, "mediasmt_cache_hits_total"); got != rs.CacheHits {
+		t.Errorf("cache_hits_total = %d, ResultSet.CacheHits = %d", got, rs.CacheHits)
+	}
+	if got := counterVal(reg, "mediasmt_cache_misses_total"); got != rs.CacheMisses {
+		t.Errorf("cache_misses_total = %d, ResultSet.CacheMisses = %d", got, rs.CacheMisses)
+	}
+	if got := counterVal(reg, "mediasmt_cache_writes_total"); got != rs.CacheWrites {
+		t.Errorf("cache_writes_total = %d, ResultSet.CacheWrites = %d", got, rs.CacheWrites)
+	}
+	if got := counterVal(reg, "mediasmt_sim_failures_total"); got != 0 {
+		t.Errorf("sim_failures_total = %d on a green run", got)
+	}
+	if got := counterVal(reg, "mediasmt_experiments_total", metrics.L("status", "ok")); got != int64(len(rs.Experiments)) {
+		t.Errorf("experiments_total{ok} = %d, want %d", got, len(rs.Experiments))
+	}
+	if got := counterVal(reg, "mediasmt_suites_total"); got != 1 {
+		t.Errorf("suites_total = %d, want 1", got)
+	}
+
+	// A second (warm) run over a fresh suite: zero new executions, all
+	// hits; the aggregates advance by exactly the second run's fields.
+	warm, err := r.NewSuite(Options{Scale: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := warm.RunExperimentsContext(context.Background(), []string{"fig4", "table1"}, Progress{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2.Simulations != 0 {
+		t.Fatalf("warm run executed %d simulations", rs2.Simulations)
+	}
+	if got := counterVal(reg, "mediasmt_sims_executed_total"); got != rs.Simulations {
+		t.Errorf("sims_executed_total moved to %d on a warm run, want %d", got, rs.Simulations)
+	}
+	if got := counterVal(reg, "mediasmt_cache_hits_total"); got != rs.CacheHits+rs2.CacheHits {
+		t.Errorf("cache_hits_total = %d, want %d", got, rs.CacheHits+rs2.CacheHits)
+	}
+}
+
+// TestMetricsCountFailedExperiments: a capped-out simulation must show
+// up in the failure counters with the same numbers the result set
+// reports.
+func TestMetricsCountFailedExperiments(t *testing.T) {
+	reg := metrics.New()
+	r := NewRunner(2, nil).Instrument(reg)
+	suite, err := r.NewSuite(Options{Scale: 0.05, Seed: 7, MaxCycles: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := suite.RunExperimentsContext(context.Background(), []string{"fig4"}, Progress{})
+	if err == nil {
+		t.Fatal("want failure with MaxCycles=100")
+	}
+	if rs.Failed == 0 || rs.FailedSims == 0 {
+		t.Fatalf("result set reports no failures: %+v", rs)
+	}
+	if got := counterVal(reg, "mediasmt_sim_failures_total"); got != int64(rs.FailedSims) {
+		t.Errorf("sim_failures_total = %d, ResultSet.FailedSims = %d", got, rs.FailedSims)
+	}
+	if got := counterVal(reg, "mediasmt_experiments_total", metrics.L("status", "failed")); got != int64(rs.Failed) {
+		t.Errorf("experiments_total{failed} = %d, ResultSet.Failed = %d", got, rs.Failed)
+	}
+	if got := counterVal(reg, "mediasmt_sims_executed_total"); got != rs.Simulations {
+		t.Errorf("sims_executed_total = %d, ResultSet.Simulations = %d", got, rs.Simulations)
+	}
+}
+
+// TestUninstrumentedRunnerSafe: the default (nil-registry) path must
+// run with every instrument a no-op.
+func TestUninstrumentedRunnerSafe(t *testing.T) {
+	r := NewRunner(2, nil).Instrument(nil)
+	suite, err := r.NewSuite(Options{Scale: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := suite.RunExperimentsContext(context.Background(), []string{"table1"}, Progress{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLocalExecutorInstrumented covers the dist.Local pool gauges and
+// counters through the exp layer, failure path included.
+func TestLocalExecutorInstrumented(t *testing.T) {
+	reg := metrics.New()
+	fail := errors.New("boom")
+	calls := 0
+	local := dist.NewLocalFunc(1, func(cfg sim.Config) (*sim.Result, error) {
+		calls++
+		if calls == 1 {
+			return nil, fail
+		}
+		return &sim.Result{Cfg: cfg}, nil
+	}).Instrument(reg)
+	if _, err := local.Execute(context.Background(), sim.Config{Threads: 1}); !errors.Is(err, fail) {
+		t.Fatalf("want injected failure, got %v", err)
+	}
+	if _, err := local.Execute(context.Background(), sim.Config{Threads: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterVal(reg, "mediasmt_pool_sims_total"); got != 1 {
+		t.Errorf("pool_sims_total = %d, want 1", got)
+	}
+	if got := counterVal(reg, "mediasmt_pool_sim_failures_total"); got != 1 {
+		t.Errorf("pool_sim_failures_total = %d, want 1", got)
+	}
+	if got := reg.Gauge("mediasmt_pool_inflight", "").Value(); got != 0 {
+		t.Errorf("pool_inflight = %d after the pool went idle", got)
+	}
+	if got := reg.Gauge("mediasmt_pool_size", "").Value(); got != 1 {
+		t.Errorf("pool_size = %d, want 1", got)
+	}
+
+	// Limit views share the pool instruments.
+	view := local.Limit(1)
+	if _, err := view.Execute(context.Background(), sim.Config{Threads: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterVal(reg, "mediasmt_pool_sims_total"); got != 2 {
+		t.Errorf("pool_sims_total through a Limit view = %d, want 2", got)
+	}
+}

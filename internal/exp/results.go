@@ -255,6 +255,13 @@ func (s *Suite) RunExperimentListContext(ctx context.Context, exps []Experiment,
 		}
 		rs.Sims = s.SimRecords()
 		rs.WallSeconds = time.Since(start).Seconds()
+		// Advance the process-wide counter from the same source the
+		// stderr summary and job view report, so an instrumented run's
+		// sims-executed metric reconciles exactly with both. Remote and
+		// failure accounting already match: coordinators report 0 here
+		// because their executor counts nothing locally, and failed
+		// executions were tallied per Execute error in the scheduler.
+		s.sched.met.sims.Add(rs.Simulations)
 	}
 
 	// Prefetch dedups by canonical key, so cross-experiment overlap
@@ -314,6 +321,9 @@ func (s *Suite) RunExperimentListContext(ctx context.Context, exps []Experiment,
 		res.Seconds = time.Since(t0).Seconds()
 		if res.Status == StatusFailed {
 			rs.Failed++
+			s.sched.met.expFailed.Inc()
+		} else {
+			s.sched.met.expOK.Inc()
 		}
 		rs.Experiments = append(rs.Experiments, res)
 		if prog.Experiment != nil {

@@ -6,6 +6,7 @@ import (
 
 	"mediasmt/internal/cache"
 	"mediasmt/internal/dist"
+	"mediasmt/internal/metrics"
 	"mediasmt/internal/sim"
 )
 
@@ -22,6 +23,45 @@ import (
 type Runner struct {
 	exec  dist.Executor // shared execution policy; Limit-derived per suite
 	cache *cache.Cache  // shared persistent layer; nil runs uncached
+	met   *runnerMetrics
+}
+
+// runnerMetrics aggregates engine activity across every suite the
+// runner derives. The struct always exists; its instruments are nil
+// (no-op) until Instrument attaches a registry, so suites update them
+// unconditionally.
+type runnerMetrics struct {
+	sims        *metrics.Counter
+	simFailures *metrics.Counter
+	cacheHits   *metrics.Counter
+	cacheMisses *metrics.Counter
+	cacheWrites *metrics.Counter
+	cacheWrErrs *metrics.Counter
+	suites      *metrics.Counter
+	expOK       *metrics.Counter
+	expFailed   *metrics.Counter
+}
+
+// Instrument attaches process-wide engine metrics — per-suite
+// simulation, cache and experiment counters aggregated across every
+// job this runner serves. Call once before the first NewSuite; a nil
+// registry is a no-op. Returns the runner for chaining.
+func (r *Runner) Instrument(reg *metrics.Registry) *Runner {
+	if reg == nil {
+		return r
+	}
+	*r.met = runnerMetrics{
+		sims:        reg.Counter("mediasmt_sims_executed_total", "simulations executed successfully by the experiment engine"),
+		simFailures: reg.Counter("mediasmt_sim_failures_total", "simulation executions that returned an error"),
+		cacheHits:   reg.Counter("mediasmt_cache_hits_total", "result-cache hits across all suites"),
+		cacheMisses: reg.Counter("mediasmt_cache_misses_total", "result-cache misses across all suites"),
+		cacheWrites: reg.Counter("mediasmt_cache_writes_total", "result-cache writes across all suites"),
+		cacheWrErrs: reg.Counter("mediasmt_cache_write_errors_total", "failed result-cache writes across all suites"),
+		suites:      reg.Counter("mediasmt_suites_total", "suites derived from this runner"),
+		expOK:       reg.Counter("mediasmt_experiments_total", "experiments finished, by status", metrics.L("status", "ok")),
+		expFailed:   reg.Counter("mediasmt_experiments_total", "experiments finished, by status", metrics.L("status", "failed")),
+	}
+	return r
 }
 
 // NewRunner builds a runner executing locally with the given pool
@@ -36,7 +76,7 @@ func NewRunner(workers int, store *cache.Cache) *Runner {
 // worker expsd processes, dist.NewPool to shard across workers with
 // local failover.
 func NewRunnerExecutor(exec dist.Executor, store *cache.Cache) *Runner {
-	return &Runner{exec: exec, cache: store}
+	return &Runner{exec: exec, cache: store, met: &runnerMetrics{}}
 }
 
 // Workers reports the shared executor's concurrency bound.
@@ -68,14 +108,15 @@ func (r *Runner) NewSuite(opts Options) (*Suite, error) {
 	var counting *countingStore
 	var store resultStore
 	if r.cache != nil {
-		counting = &countingStore{inner: r.cache}
+		counting = &countingStore{inner: r.cache, met: r.met}
 		store = counting
 	}
 	exec := r.exec
 	if lim, ok := exec.(dist.Limiter); ok {
 		exec = lim.Limit(opts.Workers)
 	}
-	return &Suite{opts: opts, store: counting, sched: newScheduler(exec, store)}, nil
+	r.met.suites.Inc()
+	return &Suite{opts: opts, store: counting, sched: newScheduler(exec, store, r.met)}, nil
 }
 
 // countingStore tracks one suite's hits/misses/writes (and failed
@@ -84,6 +125,7 @@ func (r *Runner) NewSuite(opts Options) (*Suite, error) {
 // cache.
 type countingStore struct {
 	inner                           resultStore
+	met                             *runnerMetrics // shared process aggregates; never nil
 	hits, misses, writes, writeErrs atomic.Int64
 }
 
@@ -91,8 +133,10 @@ func (c *countingStore) Get(key string) (*sim.Result, bool) {
 	r, ok := c.inner.Get(key)
 	if ok {
 		c.hits.Add(1)
+		c.met.cacheHits.Inc()
 	} else {
 		c.misses.Add(1)
+		c.met.cacheMisses.Inc()
 	}
 	return r, ok
 }
@@ -101,8 +145,10 @@ func (c *countingStore) Put(key string, r *sim.Result) error {
 	err := c.inner.Put(key, r)
 	if err == nil {
 		c.writes.Add(1)
+		c.met.cacheWrites.Inc()
 	} else {
 		c.writeErrs.Add(1)
+		c.met.cacheWrErrs.Inc()
 	}
 	return err
 }

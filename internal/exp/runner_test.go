@@ -61,11 +61,11 @@ func (failingStore) Put(string, *sim.Result) error  { return errors.New("disk fu
 // vanish — the suite's cache stats carry an advisory count the exps
 // summary prints.
 func TestWriteErrorsSurfaceInStats(t *testing.T) {
-	counting := &countingStore{inner: failingStore{}}
+	counting := &countingStore{inner: failingStore{}, met: &runnerMetrics{}}
 	s := &Suite{
 		opts:  Options{Scale: 0.05, Seed: 7},
 		store: counting,
-		sched: newScheduler(dist.NewLocal(2), counting),
+		sched: newScheduler(dist.NewLocal(2), counting, nil),
 	}
 	if _, err := s.Run(core.ISAMMX, 1, core.PolicyRR, mem.ModeIdeal); err != nil {
 		t.Fatal(err)

@@ -33,7 +33,8 @@ type resultStore interface {
 // per-scheduler.
 type scheduler struct {
 	exec  dist.Executor
-	store resultStore // optional persistent layer; nil disables it
+	store resultStore    // optional persistent layer; nil disables it
+	met   *runnerMetrics // shared process aggregates; never nil
 
 	mu      sync.Mutex
 	entries map[string]*schedEntry
@@ -50,10 +51,14 @@ type schedEntry struct {
 	err  error
 }
 
-func newScheduler(exec dist.Executor, store resultStore) *scheduler {
+func newScheduler(exec dist.Executor, store resultStore, met *runnerMetrics) *scheduler {
+	if met == nil {
+		met = &runnerMetrics{}
+	}
 	return &scheduler{
 		exec:    exec,
 		store:   store,
+		met:     met,
 		entries: make(map[string]*schedEntry),
 	}
 }
@@ -115,7 +120,9 @@ func (s *scheduler) run(ctx context.Context, cfg sim.Config) (*sim.Result, error
 			}
 		}
 		e.res, e.err = s.exec.Execute(ctx, cfg)
-		if e.err == nil {
+		if e.err != nil {
+			s.met.simFailures.Inc()
+		} else {
 			s.executed.Add(1)
 			if s.store != nil {
 				// Write behind: waiters unblock on done while the

@@ -1,0 +1,184 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of every instrument, ordered by
+// metric name and then by label signature. Individual values are read
+// atomically but the snapshot as a whole is not a consistent cut —
+// fine for monitoring, which is all this package is for.
+type Snapshot struct {
+	Counters   []SeriesValue   `json:"counters"`
+	Gauges     []SeriesValue   `json:"gauges"`
+	Histograms []HistogramView `json:"histograms"`
+}
+
+// SeriesValue is one counter or gauge reading.
+type SeriesValue struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  int64   `json:"value"`
+}
+
+// HistogramView is one histogram reading with cumulative buckets.
+type HistogramView struct {
+	Name    string       `json:"name"`
+	Labels  []Label      `json:"labels,omitempty"`
+	Buckets []BucketView `json:"buckets"`
+	Sum     float64      `json:"sum"`
+	Count   int64        `json:"count"`
+}
+
+// BucketView is one cumulative histogram bucket; Le is the upper bound
+// rendered as Prometheus would ("+Inf" for the last).
+type BucketView struct {
+	Le    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// Snapshot copies out every instrument in stable order. A nil registry
+// snapshots empty (never nil slices, so JSON renders arrays).
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   []SeriesValue{},
+		Gauges:     []SeriesValue{},
+		Histograms: []HistogramView{},
+	}
+	if r == nil {
+		return snap
+	}
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.sortedSeries() {
+			switch f.kind {
+			case kindCounter:
+				snap.Counters = append(snap.Counters, SeriesValue{f.name, s.labels, s.val.Load()})
+			case kindGauge:
+				snap.Gauges = append(snap.Gauges, SeriesValue{f.name, s.labels, s.val.Load()})
+			case kindHistogram:
+				hv := HistogramView{
+					Name:   f.name,
+					Labels: s.labels,
+					Sum:    math.Float64frombits(s.hsum.Load()),
+					Count:  s.hcount.Load(),
+				}
+				for i := range s.hcounts {
+					hv.Buckets = append(hv.Buckets, BucketView{leString(s.bounds, i), s.hcounts[i].Load()})
+				}
+				snap.Histograms = append(snap.Histograms, hv)
+			}
+		}
+	}
+	return snap
+}
+
+func leString(bounds []float64, i int) string {
+	if i >= len(bounds) {
+		return "+Inf"
+	}
+	return formatFloat(bounds[i])
+}
+
+// formatFloat renders a float the way Prometheus clients do: %g is the
+// shortest representation that round-trips for our bucket ladders.
+func formatFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fs := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fs = append(fs, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fs, func(i, j int) bool { return fs[i].name < fs[j].name })
+	return fs
+}
+
+func (f *family) sortedSeries() []*series {
+	f.mu.Lock()
+	ss := make([]*series, 0, len(f.series))
+	sigs := make(map[*series]string, len(f.series))
+	for sig, s := range f.series {
+		ss = append(ss, s)
+		sigs[s] = sig
+	}
+	f.mu.Unlock()
+	sort.Slice(ss, func(i, j int) bool { return sigs[ss[i]] < sigs[ss[j]] })
+	return ss
+}
+
+// WriteJSON writes the snapshot as indented JSON. Ordering is stable
+// across calls, so diffs and jq queries are deterministic.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text
+// exposition format (version 0.0.4): one HELP/TYPE header per family,
+// then each series with its sorted labels; histograms expand to
+// cumulative _bucket{le=...} series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.sortedSeries() {
+			switch f.kind {
+			case kindCounter, kindGauge:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, promLabels(s.labels, "", ""), s.val.Load())
+			case kindHistogram:
+				for i := range s.hcounts {
+					fmt.Fprintf(&b, "%s_bucket%s %d\n",
+						f.name, promLabels(s.labels, "le", leString(s.bounds, i)), s.hcounts[i].Load())
+				}
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, promLabels(s.labels, "", ""), formatFloat(math.Float64frombits(s.hsum.Load())))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, promLabels(s.labels, "", ""), s.hcount.Load())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promLabels renders a sorted label set, optionally with one extra
+// label appended (used for histogram le). Empty sets render as "".
+func promLabels(ls []Label, extraKey, extraVal string) string {
+	if len(ls) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escapes backslash, quote and newline, matching the format's
+		// label escaping rules.
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	if extraKey != "" {
+		if len(ls) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

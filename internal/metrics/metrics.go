@@ -1,0 +1,266 @@
+// Package metrics is a small process-wide instrumentation registry:
+// atomic counters, gauges and histograms with optional labels, encoded
+// either as stable JSON (sorted by name, then labels) or as Prometheus
+// text exposition format. It exists so a fleet of expsd daemons under
+// load is debuggable from the outside — internal/serve exposes one
+// registry per process on GET /v1/metrics — without the simulator
+// paying anything when nobody is watching.
+//
+// Everything is nil-safe by construction: methods on a nil *Registry
+// return nil instruments, and methods on nil instruments are no-ops.
+// Instrumented code therefore holds plain instrument pointers and
+// calls them unconditionally; "metrics disabled" is just the nil
+// registry, costing one predictable branch per update.
+//
+// Instruments are identified by name plus their full sorted label set.
+// Requesting the same identity twice returns the same instrument
+// (get-or-create); requesting an existing name as a different kind
+// panics — that is a programming error, not an operational condition.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name/value pair attached to an instrument.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// kind discriminates instrument families.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "kind?"
+}
+
+// Registry holds one process's instruments. The zero value is not
+// usable; build one with New. A nil *Registry is the "metrics off"
+// registry: every getter returns nil and every encoding is empty.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family groups every labeled series of one metric name, so the
+// Prometheus encoding can emit HELP/TYPE once per name.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	buckets []float64 // histogram upper bounds, sorted, +Inf implied
+
+	mu     sync.Mutex
+	series map[string]*series // by canonical label signature
+}
+
+// series is one (name, labels) instrument instance.
+type series struct {
+	labels []Label // sorted by key
+	val    atomic.Int64
+
+	// Histogram state; nil for counters and gauges. bounds is the
+	// family's sorted upper-bound slice (shared, immutable); hcounts
+	// has one slot per bound plus a final +Inf slot.
+	bounds  []float64
+	hcounts []atomic.Int64
+	hsum    atomic.Uint64 // math.Float64bits
+	hcount  atomic.Int64
+}
+
+// New builds an empty registry.
+func New() *Registry { return &Registry{families: make(map[string]*family)} }
+
+// DefBuckets is a latency bucket ladder (seconds) suitable for both
+// millisecond-scale dispatch and minute-scale full simulations.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120}
+
+// Counter returns the counter for name+labels, creating it on first
+// use. Counters only go up.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return (*Counter)(r.lookup(name, help, kindCounter, nil, labels))
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return (*Gauge)(r.lookup(name, help, kindGauge, nil, labels))
+}
+
+// Histogram returns the histogram for name+labels, creating it on
+// first use with the given upper bounds (nil means DefBuckets). The
+// bounds are fixed by the first creation; later calls reuse them.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	return (*Histogram)(r.lookup(name, help, kindHistogram, buckets, labels))
+}
+
+// lookup resolves (or creates) the series for name+labels.
+func (r *Registry) lookup(name, help string, k kind, buckets []float64, labels []Label) *series {
+	r.mu.Lock()
+	f, ok := r.families[name]
+	if !ok {
+		bs := append([]float64(nil), buckets...)
+		sort.Float64s(bs)
+		f = &family{name: name, help: help, kind: k, buckets: bs, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	r.mu.Unlock()
+	if f.kind != k {
+		panic(fmt.Sprintf("metrics: %s registered as %v, requested as %v", name, f.kind, k))
+	}
+
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	sig := labelSig(ls)
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[sig]
+	if !ok {
+		s = &series{labels: ls}
+		if k == kindHistogram {
+			s.bounds = f.buckets
+			s.hcounts = make([]atomic.Int64, len(f.buckets)+1) // +Inf last
+		}
+		f.series[sig] = s
+	}
+	return s
+}
+
+// labelSig is the canonical identity of a sorted label set.
+func labelSig(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range ls {
+		fmt.Fprintf(&b, "%q=%q,", l.Key, l.Value)
+	}
+	return b.String()
+}
+
+// Counter is a monotonically increasing instrument. Nil counters are
+// valid no-ops.
+type Counter series
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.val.Add(n)
+}
+
+// Value reports the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.val.Load()
+}
+
+// Gauge is an instrument that can go up and down. Nil gauges are valid
+// no-ops.
+type Gauge series
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.val.Store(v)
+}
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.val.Add(n)
+}
+
+// Value reports the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.val.Load()
+}
+
+// Histogram accumulates observations into cumulative buckets. Nil
+// histograms are valid no-ops.
+type Histogram series
+
+// Observe records one value. Buckets are cumulative, so every bucket
+// whose upper bound is >= v is incremented, plus the implicit +Inf.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.hcounts[len(h.hcounts)-1].Add(1) // +Inf counts everything
+	for i, ub := range h.bounds {
+		if v <= ub {
+			h.hcounts[i].Add(1)
+		}
+	}
+	h.hcount.Add(1)
+	for {
+		old := h.hsum.Load()
+		if h.hsum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count reports the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.hcount.Load()
+}
+
+// Sum reports the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.hsum.Load())
+}

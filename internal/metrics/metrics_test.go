@@ -1,0 +1,221 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("sims_total", "total sims")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("sims_total", "total sims"); again != c {
+		t.Fatalf("same identity returned a different counter")
+	}
+
+	g := r.Gauge("inflight", "in-flight sims")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestLabelsIdentity(t *testing.T) {
+	r := New()
+	a := r.Counter("reqs", "", L("peer", "p1"), L("code", "200"))
+	b := r.Counter("reqs", "", L("code", "200"), L("peer", "p1")) // order-insensitive
+	other := r.Counter("reqs", "", L("code", "500"), L("peer", "p1"))
+	if a != b {
+		t.Fatalf("label order changed identity")
+	}
+	if a == other {
+		t.Fatalf("different label values shared identity")
+	}
+	a.Add(2)
+	other.Inc()
+	if a.Value() != 2 || other.Value() != 1 {
+		t.Fatalf("labeled series mixed values: %d, %d", a.Value(), other.Value())
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := New()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("requesting counter as gauge did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry returned non-nil instruments")
+	}
+	// All of these must be no-ops, not panics.
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(-1)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil instruments reported non-zero values")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry prometheus: err=%v len=%d", err, buf.Len())
+	}
+	buf.Reset()
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil registry json: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("nil registry json decode: %v", err)
+	}
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", "latency", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 16 {
+		t.Fatalf("sum = %g, want 16", h.Sum())
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("snapshot histograms = %d, want 1", len(snap.Histograms))
+	}
+	hv := snap.Histograms[0]
+	want := []BucketView{{"1", 2}, {"2", 3}, {"5", 4}, {"+Inf", 5}}
+	if len(hv.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", hv.Buckets, want)
+	}
+	for i, w := range want {
+		if hv.Buckets[i] != w {
+			t.Fatalf("bucket[%d] = %+v, want %+v", i, hv.Buckets[i], w)
+		}
+	}
+}
+
+func TestPrometheusEncoding(t *testing.T) {
+	r := New()
+	r.Counter("mediasmt_sims_total", "simulations executed").Add(3)
+	r.Gauge("mediasmt_inflight", "in-flight", L("pool", "local")).Set(2)
+	h := r.Histogram("mediasmt_run_seconds", "sim wall time", []float64{1, 5})
+	h.Observe(0.5)
+	h.Observe(7)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, line := range []string{
+		"# HELP mediasmt_sims_total simulations executed",
+		"# TYPE mediasmt_sims_total counter",
+		"mediasmt_sims_total 3",
+		"# TYPE mediasmt_inflight gauge",
+		`mediasmt_inflight{pool="local"} 2`,
+		"# TYPE mediasmt_run_seconds histogram",
+		`mediasmt_run_seconds_bucket{le="1"} 1`,
+		`mediasmt_run_seconds_bucket{le="5"} 1`,
+		`mediasmt_run_seconds_bucket{le="+Inf"} 2`,
+		"mediasmt_run_seconds_sum 7.5",
+		"mediasmt_run_seconds_count 2",
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("prometheus output missing %q\n---\n%s", line, out)
+		}
+	}
+}
+
+func TestJSONEncodingStable(t *testing.T) {
+	r := New()
+	r.Counter("b_second", "").Add(2)
+	r.Counter("a_first", "").Inc()
+	r.Counter("c_labeled", "", L("peer", "z")).Inc()
+	r.Counter("c_labeled", "", L("peer", "a")).Inc()
+
+	var one, two bytes.Buffer
+	if err := r.WriteJSON(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Fatalf("JSON encoding not stable across calls")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(one.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(snap.Counters))
+	for i, c := range snap.Counters {
+		names[i] = c.Name
+	}
+	want := []string{"a_first", "b_second", "c_labeled", "c_labeled"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("counter order = %v, want %v", names, want)
+		}
+	}
+	// Labeled series sort by label signature: peer=a before peer=z.
+	if snap.Counters[2].Labels[0].Value != "a" || snap.Counters[3].Labels[0].Value != "z" {
+		t.Fatalf("labeled series out of order: %+v", snap.Counters[2:])
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	const n, per = 8, 1000
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hot", "")
+			g := r.Gauge("level", "")
+			h := r.Histogram("obs", "", []float64{10})
+			for j := 0; j < per; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hot", "").Value(); got != n*per {
+		t.Fatalf("counter = %d, want %d", got, n*per)
+	}
+	if got := r.Gauge("level", "").Value(); got != n*per {
+		t.Fatalf("gauge = %d, want %d", got, n*per)
+	}
+	h := r.Histogram("obs", "", []float64{10})
+	if h.Count() != n*per || h.Sum() != float64(n*per) {
+		t.Fatalf("histogram count=%d sum=%g, want %d", h.Count(), h.Sum(), n*per)
+	}
+}

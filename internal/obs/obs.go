@@ -1,0 +1,136 @@
+// Package obs glues the simulator's sampling observer (sim.Observer,
+// core.Hooks) to the process metrics registry (internal/metrics). It
+// produces an instrumented run function that drops into the
+// dist.Executor seam via dist.NewLocalFunc, so the front-ends turn
+// observability on by swapping one constructor argument — and off by
+// passing a nil registry, which makes every instrument a no-op and
+// SimRunner degrade to plain sim.Run.
+package obs
+
+import (
+	"time"
+
+	"mediasmt/internal/core"
+	"mediasmt/internal/metrics"
+	"mediasmt/internal/sim"
+)
+
+// simInstruments is the family of instruments SimRunner feeds. All
+// fields are nil when the registry is nil; updates then no-op.
+type simInstruments struct {
+	runs     *metrics.Counter
+	failures *metrics.Counter
+	cycles   *metrics.Counter
+	insts    *metrics.Counter
+	seconds  *metrics.Histogram
+
+	queueOcc   [4]*metrics.Gauge
+	queueReady [4]*metrics.Gauge
+	robOcc     *metrics.Gauge
+	fetchQOcc  *metrics.Gauge
+	inflight   *metrics.Gauge
+	loads      *metrics.Gauge
+
+	stallROB    *metrics.Counter
+	stallRename *metrics.Counter
+	stallQueue  *metrics.Counter
+
+	l1Hits    *metrics.Counter
+	l1Misses  *metrics.Counter
+	l2Hits    *metrics.Counter
+	l2Misses  *metrics.Counter
+	dramReads *metrics.Counter
+	dramWrite *metrics.Counter
+}
+
+func newSimInstruments(reg *metrics.Registry) *simInstruments {
+	ins := &simInstruments{
+		runs:     reg.Counter("mediasmt_sim_runs_total", "simulations executed in this process"),
+		failures: reg.Counter("mediasmt_sim_run_failures_total", "simulations that returned an error"),
+		cycles:   reg.Counter("mediasmt_sim_cycles_total", "simulated cycles across all runs"),
+		insts:    reg.Counter("mediasmt_sim_insts_total", "committed instructions across all runs"),
+		seconds:  reg.Histogram("mediasmt_sim_run_seconds", "wall time of one simulation", nil),
+		robOcc:   reg.Gauge("mediasmt_pipeline_rob_occupancy", "sampled graduation-window entries (all threads)"),
+		fetchQOcc: reg.Gauge("mediasmt_pipeline_fetchq_occupancy",
+			"sampled fetch-queue entries (all threads)"),
+		inflight: reg.Gauge("mediasmt_pipeline_inflight_ops", "sampled issued-not-written-back ops"),
+		loads:    reg.Gauge("mediasmt_pipeline_active_loads", "sampled loads with outstanding elements"),
+		stallROB: reg.Counter("mediasmt_dispatch_stalls_total",
+			"dispatch stalls over sampled windows, by cause", metrics.L("class", "rob")),
+		stallRename: reg.Counter("mediasmt_dispatch_stalls_total",
+			"dispatch stalls over sampled windows, by cause", metrics.L("class", "rename")),
+		stallQueue: reg.Counter("mediasmt_dispatch_stalls_total",
+			"dispatch stalls over sampled windows, by cause", metrics.L("class", "queue")),
+		l1Hits:    memEvent(reg, "l1_hit"),
+		l1Misses:  memEvent(reg, "l1_miss"),
+		l2Hits:    memEvent(reg, "l2_hit"),
+		l2Misses:  memEvent(reg, "l2_miss"),
+		dramReads: memEvent(reg, "dram_read"),
+		dramWrite: memEvent(reg, "dram_write"),
+	}
+	for q, name := range core.QueueNames {
+		ins.queueOcc[q] = reg.Gauge("mediasmt_pipeline_queue_occupancy",
+			"sampled issue-queue entries", metrics.L("queue", name))
+		ins.queueReady[q] = reg.Gauge("mediasmt_pipeline_queue_ready",
+			"sampled ready-to-issue entries", metrics.L("queue", name))
+	}
+	return ins
+}
+
+func memEvent(reg *metrics.Registry, event string) *metrics.Counter {
+	return reg.Counter("mediasmt_mem_events_total",
+		"memory-system events over sampled windows, by type", metrics.L("event", event))
+}
+
+// SimRunner returns a run function for dist.NewLocalFunc that executes
+// simulations through sim.RunObserved, feeding sampled pipeline and
+// memory state into reg. With a nil registry it returns sim.Run
+// itself: no observer is installed and the hook seam stays disabled.
+// Results are bit-identical either way — the observer only reads
+// state (see sim.Observer).
+func SimRunner(reg *metrics.Registry) func(sim.Config) (*sim.Result, error) {
+	if reg == nil {
+		return sim.Run
+	}
+	ins := newSimInstruments(reg)
+	return func(cfg sim.Config) (*sim.Result, error) {
+		// prev carries the previous sample's cumulative counters so the
+		// stall and memory counters advance by per-window deltas; it is
+		// per-run state, so concurrent simulations never share it.
+		var prev sim.Sample
+		obs := &sim.Observer{OnSample: func(s sim.Sample) {
+			for q := range core.QueueNames {
+				ins.queueOcc[q].Set(int64(s.Pipeline.QueueOcc[q]))
+				ins.queueReady[q].Set(int64(s.Pipeline.QueueReady[q]))
+			}
+			ins.robOcc.Set(int64(s.Pipeline.ROBOcc))
+			ins.fetchQOcc.Set(int64(s.Pipeline.FetchQOcc))
+			ins.inflight.Set(int64(s.Pipeline.Inflight))
+			ins.loads.Set(int64(s.Pipeline.ActiveLoads))
+
+			ins.stallROB.Add(s.Pipeline.ROBStalls - prev.Pipeline.ROBStalls)
+			ins.stallRename.Add(s.Pipeline.RenameStalls - prev.Pipeline.RenameStalls)
+			ins.stallQueue.Add(s.Pipeline.QueueStalls - prev.Pipeline.QueueStalls)
+
+			ins.l1Hits.Add(s.Mem.L1Hits - prev.Mem.L1Hits)
+			ins.l1Misses.Add(s.Mem.L1Misses - prev.Mem.L1Misses)
+			ins.l2Hits.Add(s.Mem.L2Hits - prev.Mem.L2Hits)
+			ins.l2Misses.Add(s.Mem.L2Misses - prev.Mem.L2Misses)
+			ins.dramReads.Add(s.Mem.DRAMReads - prev.Mem.DRAMReads)
+			ins.dramWrite.Add(s.Mem.DRAMWrites - prev.Mem.DRAMWrites)
+			prev = s
+		}}
+
+		start := time.Now()
+		r, err := sim.RunObserved(cfg, obs)
+		ins.seconds.Observe(time.Since(start).Seconds())
+		if err != nil {
+			ins.failures.Inc()
+			return r, err
+		}
+		ins.runs.Inc()
+		ins.cycles.Add(r.Cycles)
+		ins.insts.Add(r.Core.Committed)
+		return r, nil
+	}
+}

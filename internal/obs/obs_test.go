@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"testing"
+
+	"mediasmt/internal/core"
+	"mediasmt/internal/mem"
+	"mediasmt/internal/metrics"
+	"mediasmt/internal/sim"
+)
+
+func testConfig() sim.Config {
+	return sim.Config{
+		ISA:     core.ISAMMX,
+		Threads: 2,
+		Policy:  core.PolicyRR,
+		Memory:  mem.ModeConventional,
+		Scale:   0.02,
+		Seed:    42,
+	}
+}
+
+func TestSimRunnerFeedsRegistry(t *testing.T) {
+	reg := metrics.New()
+	run := SimRunner(reg)
+	r, err := run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("mediasmt_sim_runs_total", "").Value(); got != 1 {
+		t.Fatalf("sim_runs_total = %d, want 1", got)
+	}
+	if got := reg.Counter("mediasmt_sim_cycles_total", "").Value(); got != r.Cycles {
+		t.Fatalf("sim_cycles_total = %d, want %d", got, r.Cycles)
+	}
+	if got := reg.Counter("mediasmt_sim_insts_total", "").Value(); got != r.Core.Committed {
+		t.Fatalf("sim_insts_total = %d, want %d", got, r.Core.Committed)
+	}
+	if got := reg.Histogram("mediasmt_sim_run_seconds", "", nil).Count(); got != 1 {
+		t.Fatalf("run_seconds count = %d, want 1", got)
+	}
+	// Sampled memory deltas sum to (at most) the run's cumulative
+	// counters: the last partial window is unsampled.
+	hits := reg.Counter("mediasmt_mem_events_total", "", metrics.L("event", "l1_hit")).Value()
+	if hits <= 0 || hits > r.Mem.L1Hits {
+		t.Fatalf("l1_hit events = %d, want in (0, %d]", hits, r.Mem.L1Hits)
+	}
+	stalls := reg.Counter("mediasmt_dispatch_stalls_total", "", metrics.L("class", "rob")).Value()
+	if stalls > r.Core.ROBStalls {
+		t.Fatalf("rob stall events = %d exceed the run's %d", stalls, r.Core.ROBStalls)
+	}
+}
+
+func TestSimRunnerResultIdentity(t *testing.T) {
+	cfg := testConfig()
+	plain, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrumented, err := SimRunner(metrics.New())(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if instrumented.Cycles != plain.Cycles || instrumented.IPC != plain.IPC ||
+		instrumented.Core.Committed != plain.Core.Committed ||
+		instrumented.Mem != plain.Mem {
+		t.Fatalf("instrumented run diverged:\ninstrumented: cycles=%d ipc=%v\nplain:        cycles=%d ipc=%v",
+			instrumented.Cycles, instrumented.IPC, plain.Cycles, plain.IPC)
+	}
+}
+
+func TestSimRunnerNilRegistry(t *testing.T) {
+	run := SimRunner(nil)
+	r, err := run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles == 0 {
+		t.Fatalf("nil-registry runner returned an empty result")
+	}
+}
+
+func TestSimRunnerCountsFailures(t *testing.T) {
+	reg := metrics.New()
+	run := SimRunner(reg)
+	cfg := testConfig()
+	cfg.MaxCycles = 100 // guaranteed incomplete
+	if _, err := run(cfg); err == nil {
+		t.Fatal("want MaxCycles failure")
+	}
+	if got := reg.Counter("mediasmt_sim_run_failures_total", "").Value(); got != 1 {
+		t.Fatalf("failures = %d, want 1", got)
+	}
+	if got := reg.Counter("mediasmt_sim_runs_total", "").Value(); got != 0 {
+		t.Fatalf("runs = %d, want 0", got)
+	}
+}

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Error codes carried in the v1 error envelope. They partition the
+// failure space the way the handlers do: a client switches on the code
+// and renders the message; new codes may appear but existing ones
+// never change meaning.
+const (
+	// ErrBadRequest: the request body or query string failed
+	// validation; the message names the offending field.
+	ErrBadRequest = "bad_request"
+	// ErrNotFound: the job id does not exist (never did, or was
+	// evicted from the bounded store).
+	ErrNotFound = "not_found"
+	// ErrNotReady: the job exists but has not settled; results are not
+	// available yet.
+	ErrNotReady = "not_ready"
+	// ErrStoreFull: the job store is at capacity with every retained
+	// job still in flight; retry later.
+	ErrStoreFull = "store_full"
+	// ErrFingerprintMismatch: the coordinator's simulator fingerprint
+	// differs from this worker's; the envelope's fingerprint field
+	// carries the worker's.
+	ErrFingerprintMismatch = "fingerprint_mismatch"
+	// ErrSimFailed: the simulation ran and failed (e.g. hit its cycle
+	// cap); the message is the simulation error.
+	ErrSimFailed = "sim_failed"
+	// ErrInternal: anything the server cannot blame on the request.
+	ErrInternal = "internal"
+)
+
+// ErrorBody is the inner object of the v1 error envelope.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the JSON shape of every non-2xx response:
+// {"error":{"code":...,"message":...}}. The 409 fingerprint mismatch
+// additionally carries the worker's fingerprint at the top level, the
+// key internal/dist reads.
+type ErrorEnvelope struct {
+	Error       ErrorBody `json:"error"`
+	Fingerprint string    `json:"fingerprint,omitempty"`
+}
+
+// writeError emits the v1 error envelope with the given status, code
+// and formatted message.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
+}

@@ -3,11 +3,11 @@ package serve
 import (
 	"context"
 	"encoding/json"
-	"fmt"
 	"sync"
 	"time"
 
 	"mediasmt/internal/exp"
+	"mediasmt/internal/metrics"
 )
 
 // Job statuses. A job moves queued → running → ok|failed; "failed"
@@ -29,6 +29,7 @@ type job struct {
 	opts    exp.Options
 	created time.Time
 	cancel  context.CancelFunc
+	dropped *metrics.Counter // server-wide lagging-subscriber count; nil no-ops
 
 	mu       sync.Mutex
 	status   string
@@ -45,12 +46,13 @@ type sseEvent struct {
 	data []byte
 }
 
-func newJob(id string, ids []string, opts exp.Options) *job {
+func newJob(id string, ids []string, opts exp.Options, dropped *metrics.Counter) *job {
 	return &job{
 		id:       id,
 		ids:      ids,
 		opts:     opts,
 		created:  time.Now().UTC(),
+		dropped:  dropped,
 		status:   JobQueued,
 		subs:     map[chan sseEvent]bool{},
 		finished: make(chan struct{}),
@@ -65,7 +67,9 @@ func newJob(id string, ids []string, opts exp.Options) *job {
 func (j *job) publish(name string, payload any) {
 	data, err := json.Marshal(payload)
 	if err != nil {
-		data = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+		// Unmarshalable payloads are a programming error; degrade to the
+		// same envelope shape every other error response uses.
+		data, _ = json.Marshal(ErrorEnvelope{Error: ErrorBody{Code: ErrInternal, Message: err.Error()}})
 	}
 	ev := sseEvent{name: name, data: data}
 	j.mu.Lock()
@@ -77,6 +81,7 @@ func (j *job) publish(name string, payload any) {
 		default:
 			delete(j.subs, ch)
 			close(ch)
+			j.dropped.Inc()
 		}
 	}
 }
@@ -165,6 +170,11 @@ type JobView struct {
 	MaxCycles   int64     `json:"max_cycles,omitempty"`
 	Created     time.Time `json:"created"`
 	Error       string    `json:"error,omitempty"`
+	// Events is how many SSE events the job has published so far (a
+	// reconnecting subscriber replays exactly this many); Subscribers
+	// is how many live SSE channels are attached right now.
+	Events      int `json:"events"`
+	Subscribers int `json:"subscribers"`
 	// The remaining fields mirror the ResultSet bookkeeping and are
 	// only meaningful once the job settled (status ok or failed).
 	Simulations       int64              `json:"simulations"`
@@ -191,6 +201,8 @@ func (j *job) view() JobView {
 		MaxCycles:   j.opts.MaxCycles,
 		Created:     j.created,
 		Error:       j.errMsg,
+		Events:      len(j.history),
+		Subscribers: len(j.subs),
 	}
 	if rs := j.rs; rs != nil {
 		v.Simulations = rs.Simulations

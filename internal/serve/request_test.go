@@ -102,16 +102,17 @@ func TestSubmitValidationOverHTTP(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var e struct {
-			Error string `json:"error"`
-		}
+		var e ErrorEnvelope
 		decErr := json.NewDecoder(resp.Body).Decode(&e)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("POST %s: status %d, want 400", body, resp.StatusCode)
 		}
-		if decErr != nil || e.Error == "" {
+		if decErr != nil || e.Error.Message == "" {
 			t.Errorf("POST %s: error body unreadable (%v) or empty", body, decErr)
+		}
+		if e.Error.Code != ErrBadRequest {
+			t.Errorf("POST %s: error code %q, want %q", body, e.Error.Code, ErrBadRequest)
 		}
 	}
 }

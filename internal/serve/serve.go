@@ -7,7 +7,7 @@
 // engine's fault-isolation semantics: partial failures report the
 // offending config keys instead of suppressing the surviving tables.
 //
-// Endpoints:
+// # HTTP API v1
 //
 //	POST /v1/sims                worker endpoint: execute one encoded
 //	                             sim.Config through the shared Runner and
@@ -22,6 +22,9 @@
 //	                             "seed":...,"workers":...,"max_cycles":...};
 //	                             202 with the job view, Location header
 //	GET  /v1/jobs                list retained jobs, newest first
+//	                             (submission order reversed — stable across
+//	                             calls); ?status=queued|running|ok|failed
+//	                             filters, preserving that order
 //	GET  /v1/jobs/{id}           job status, incl. per-config errors
 //	GET  /v1/jobs/{id}/results   finished result set; ?format=json (default)
 //	                             or ?format=csv through the exps emitters —
@@ -31,8 +34,17 @@
 //	GET  /v1/jobs/{id}/events    SSE progress: status, sim, experiment and
 //	                             done events; full history replays on
 //	                             (re)connect
-//	GET  /v1/fingerprint         cache fingerprint + engine metadata
-//	GET  /healthz                liveness
+//	GET  /v1/metrics             process metrics from Config.Metrics;
+//	                             Prometheus text format by default,
+//	                             ?format=json for the stable JSON snapshot
+//	GET  /v1/healthz             liveness + engine metadata (StatusView)
+//	GET  /v1/fingerprint         same StatusView (historical spelling)
+//	GET  /healthz                legacy alias for /v1/healthz
+//
+// Every non-2xx response is the v1 error envelope
+// {"error":{"code":...,"message":...}} (see ErrorEnvelope and the Err*
+// code constants); the 409 fingerprint mismatch additionally carries
+// the worker's fingerprint at the top level.
 //
 // The job store is bounded: once MaxJobs jobs are retained, the oldest
 // settled jobs are evicted to make room, and if every retained job is
@@ -52,6 +64,7 @@ import (
 	"mediasmt/internal/cache"
 	"mediasmt/internal/dist"
 	"mediasmt/internal/exp"
+	"mediasmt/internal/metrics"
 	"mediasmt/internal/sim"
 )
 
@@ -64,15 +77,46 @@ type Config struct {
 	// MaxJobs bounds how many jobs the store retains (running jobs
 	// included); 0 means DefaultMaxJobs.
 	MaxJobs int
+	// Metrics, when non-nil, is served on GET /v1/metrics and receives
+	// the server's own instruments (sims executed, job admissions, SSE
+	// subscriber bookkeeping). The caller typically registers the
+	// runner and executor on the same registry so one scrape covers
+	// the whole process. Nil disables both — the endpoint then serves
+	// an empty snapshot and every instrument is a no-op.
+	Metrics *metrics.Registry
+	// EventBuffer is each SSE subscriber's channel capacity; a
+	// subscriber lagging this many events behind is dropped (it can
+	// reconnect and replay). 0 means DefaultEventBuffer.
+	EventBuffer int
 }
 
 // DefaultMaxJobs bounds the job store when Config.MaxJobs is zero.
 const DefaultMaxJobs = 64
 
+// DefaultEventBuffer is the per-subscriber SSE buffer when
+// Config.EventBuffer is zero.
+const DefaultEventBuffer = 256
+
+// serveMetrics is the server's own instrument set. The struct always
+// exists; with a nil registry every instrument is nil and no-ops.
+type serveMetrics struct {
+	// sims shares its name with the exp.Runner aggregate: the worker
+	// endpoint executes outside the experiment loop, so it adds its
+	// executions to the same mediasmt_sims_executed_total series.
+	sims          *metrics.Counter
+	jobsSubmitted *metrics.Counter
+	jobsRejected  *metrics.Counter
+	sseDropped    *metrics.Counter
+	sseSubs       *metrics.Gauge
+}
+
 // Server is the HTTP front-end over one shared experiment Runner.
 type Server struct {
-	runner  *exp.Runner
-	maxJobs int
+	runner   *exp.Runner
+	maxJobs  int
+	eventBuf int
+	registry *metrics.Registry
+	met      serveMetrics
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
@@ -96,14 +140,29 @@ func New(cfg Config) *Server {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = DefaultMaxJobs
 	}
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = DefaultEventBuffer
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		runner:    cfg.Runner,
 		maxJobs:   cfg.MaxJobs,
+		eventBuf:  cfg.EventBuffer,
+		registry:  cfg.Metrics,
 		baseCtx:   ctx,
 		cancelAll: cancel,
 		jobs:      make(map[string]*job),
 	}
+	if reg := cfg.Metrics; reg != nil {
+		s.met = serveMetrics{
+			sims:          reg.Counter("mediasmt_sims_executed_total", "simulations executed successfully by the experiment engine"),
+			jobsSubmitted: reg.Counter("mediasmt_jobs_submitted_total", "jobs admitted into the store"),
+			jobsRejected:  reg.Counter("mediasmt_jobs_rejected_total", "submissions refused because the store was full of in-flight jobs"),
+			sseDropped:    reg.Counter("mediasmt_sse_dropped_subscribers_total", "SSE subscribers dropped for lagging past their event buffer"),
+			sseSubs:       reg.Gauge("mediasmt_sse_subscribers", "SSE subscribers currently connected"),
+		}
+	}
+	return s
 }
 
 // Close cancels every in-flight job (their simulations not yet started
@@ -119,8 +178,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /v1/fingerprint", s.handleFingerprint)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/healthz", s.handleStatusView)
+	mux.HandleFunc("GET /v1/fingerprint", s.handleStatusView)
+	mux.HandleFunc("GET /healthz", s.handleStatusView) // legacy alias
 	return mux
 }
 
@@ -131,11 +192,6 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v) // header already out; a broken client is its own problem
-}
-
-// writeError emits a JSON error body.
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 // handleSimExecute is the worker side of the distributed executor: it
@@ -149,9 +205,12 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 // failure without retrying elsewhere.
 func (s *Server) handleSimExecute(w http.ResponseWriter, r *http.Request) {
 	if got := r.Header.Get(dist.FingerprintHeader); got != "" && got != cache.Fingerprint() {
-		writeJSON(w, http.StatusConflict, map[string]string{
-			"error":       fmt.Sprintf("fingerprint mismatch: coordinator %q, worker %q", got, cache.Fingerprint()),
-			"fingerprint": cache.Fingerprint(),
+		writeJSON(w, http.StatusConflict, ErrorEnvelope{
+			Error: ErrorBody{
+				Code:    ErrFingerprintMismatch,
+				Message: fmt.Sprintf("fingerprint mismatch: coordinator %q, worker %q", got, cache.Fingerprint()),
+			},
+			Fingerprint: cache.Fingerprint(),
 		})
 		return
 	}
@@ -159,10 +218,10 @@ func (s *Server) handleSimExecute(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var reqErr *requestError
 		if errors.As(err, &reqErr) {
-			writeError(w, http.StatusBadRequest, "%s", reqErr.msg)
+			writeError(w, http.StatusBadRequest, ErrBadRequest, "%s", reqErr.msg)
 			return
 		}
-		writeError(w, http.StatusInternalServerError, "decode: %v", err)
+		writeError(w, http.StatusInternalServerError, ErrInternal, "decode: %v", err)
 		return
 	}
 	// A per-request suite keeps worker memory bounded however many
@@ -171,7 +230,7 @@ func (s *Server) handleSimExecute(w http.ResponseWriter, r *http.Request) {
 	// already singleflight their own duplicates before POSTing).
 	suite, err := s.runner.NewSuite(exp.Options{})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "suite: %v", err)
+		writeError(w, http.StatusInternalServerError, ErrInternal, "suite: %v", err)
 		return
 	}
 	// A forwarded simulation terminates here: if this daemon is itself
@@ -185,13 +244,17 @@ func (s *Server) handleSimExecute(w http.ResponseWriter, r *http.Request) {
 	res, runErr := suite.RunConfigContext(ctx, cfg)
 	suite.Flush() // results must be durable before the coordinator sees them
 	s.simsExecuted.Add(suite.Simulations())
+	// The experiment engine only rolls suite executions into
+	// mediasmt_sims_executed_total when a full experiment run settles;
+	// this single-config path settles here, so the server adds them.
+	s.met.sims.Add(suite.Simulations())
 	if runErr != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", runErr)
+		writeError(w, http.StatusUnprocessableEntity, ErrSimFailed, "%v", runErr)
 		return
 	}
 	data, err := sim.EncodeResult(res)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "encode result: %v", err)
+		writeError(w, http.StatusInternalServerError, ErrInternal, "encode result: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -205,27 +268,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var reqErr *requestError
 		if errors.As(err, &reqErr) {
-			writeError(w, http.StatusBadRequest, "%s", reqErr.msg)
+			writeError(w, http.StatusBadRequest, ErrBadRequest, "%s", reqErr.msg)
 			return
 		}
-		writeError(w, http.StatusInternalServerError, "decode: %v", err)
+		writeError(w, http.StatusInternalServerError, ErrInternal, "decode: %v", err)
 		return
 	}
 
 	s.mu.Lock()
 	if !s.evictLocked() {
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable,
+		s.met.jobsRejected.Inc()
+		writeError(w, http.StatusServiceUnavailable, ErrStoreFull,
 			"job store full: %d jobs retained and all still in flight; retry later", s.maxJobs)
 		return
 	}
 	s.seq++
-	j := newJob(fmt.Sprintf("job-%d", s.seq), ids, opts)
+	j := newJob(fmt.Sprintf("job-%d", s.seq), ids, opts, s.met.sseDropped)
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j.cancel = cancel
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()
+	s.met.jobsSubmitted.Inc()
 
 	go s.runJob(ctx, j)
 
@@ -297,7 +362,20 @@ func (s *Server) lookup(r *http.Request) (*job, bool) {
 	return j, ok
 }
 
+// handleList serves the retained jobs newest first — the reverse of
+// submission order, which is stable across calls (eviction removes
+// entries but never reorders the survivors). ?status= narrows to one
+// lifecycle state, preserving that ordering; an unknown status is a
+// 400, not an empty list, so typos never masquerade as "no jobs".
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	filter := r.URL.Query().Get("status")
+	switch filter {
+	case "", JobQueued, JobRunning, JobOK, JobFailed:
+	default:
+		writeError(w, http.StatusBadRequest, ErrBadRequest,
+			"unknown status %q (want %s, %s, %s or %s)", filter, JobQueued, JobRunning, JobOK, JobFailed)
+		return
+	}
 	s.mu.Lock()
 	ids := append([]string(nil), s.order...)
 	jobs := make([]*job, 0, len(ids))
@@ -307,7 +385,11 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	views := make([]JobView, 0, len(jobs))
 	for i := len(jobs) - 1; i >= 0; i-- { // newest first
-		views = append(views, jobs[i].view())
+		v := jobs[i].view()
+		if filter != "" && v.Status != filter {
+			continue
+		}
+		views = append(views, v)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
 }
@@ -315,7 +397,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, ErrNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, j.view())
@@ -328,19 +410,19 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, ErrNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	status, rs := j.snapshot()
 	if status == JobQueued || status == JobRunning {
-		writeError(w, http.StatusConflict, "job %s is %s; results are not ready (watch /v1/jobs/%s/events)", j.id, status, j.id)
+		writeError(w, http.StatusConflict, ErrNotReady, "job %s is %s; results are not ready (watch /v1/jobs/%s/events)", j.id, status, j.id)
 		return
 	}
 	if rs == nil {
 		// Settled without a result set: the submission named only
 		// unknown experiments — impossible past the decoder — or the
 		// engine refused up front. The error explains it.
-		writeError(w, http.StatusInternalServerError, "job %s produced no result set: %s", j.id, j.view().Error)
+		writeError(w, http.StatusInternalServerError, ErrInternal, "job %s produced no result set: %s", j.id, j.view().Error)
 		return
 	}
 	switch format := r.URL.Query().Get("format"); format {
@@ -351,7 +433,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/csv")
 		_ = rs.WriteCSV(w)
 	default:
-		writeError(w, http.StatusBadRequest, "unknown format %q (want json or csv)", format)
+		writeError(w, http.StatusBadRequest, ErrBadRequest, "unknown format %q (want json or csv)", format)
 	}
 }
 
@@ -362,20 +444,22 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, ErrNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		writeError(w, http.StatusInternalServerError, ErrInternal, "response writer does not support streaming")
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 
-	history, ch, done := j.subscribe(256)
+	history, ch, done := j.subscribe(s.eventBuf)
 	if ch != nil {
+		s.met.sseSubs.Add(1)
+		defer s.met.sseSubs.Add(-1)
 		defer j.unsubscribe(ch)
 	}
 	for _, ev := range history {
@@ -407,30 +491,75 @@ func writeEvent(w http.ResponseWriter, ev sseEvent) {
 	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
 }
 
-// handleFingerprint reports the cache fingerprint (what exps
-// -fingerprint prints) plus enough engine metadata for a client to
-// know what it is talking to.
-func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
-	resp := map[string]any{
-		"fingerprint": cache.Fingerprint(),
-		"workers":     s.runner.Workers(),
-		"experiments": exp.IDs(),
-		"cache":       false,
-		// sims_executed counts the worker endpoint's actual executions
-		// (cache hits excluded): a coordinator smoke asserts this moves
-		// on a cold run and stays put on a warm one.
-		"sims_executed": s.simsExecuted.Load(),
+// handleMetrics serves Config.Metrics — Prometheus text exposition
+// format by default, the stable JSON snapshot with ?format=json. A
+// server built without a registry serves an empty snapshot rather
+// than a 404, so scrapers need not know how the daemon was launched.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.registry.WritePrometheus(w)
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.registry.WriteJSON(w)
+	default:
+		writeError(w, http.StatusBadRequest, ErrBadRequest, "unknown format %q (want prometheus or json)", format)
 	}
-	if c := s.runner.Cache(); c != nil {
-		resp["cache"] = true
-		resp["cache_dir"] = c.Dir()
-		st := c.Stats()
-		resp["cache_stats"] = map[string]int64{"hits": st.Hits, "misses": st.Misses, "writes": st.Writes}
-	}
-	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+// CacheStatsView is the status payload's process-lifetime cache
+// bookkeeping (what exps' stderr summary prints per run).
+type CacheStatsView struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Writes int64 `json:"writes"`
+}
+
+// StatusView is the shared payload of GET /v1/healthz, the legacy
+// /healthz alias and GET /v1/fingerprint: liveness plus the engine
+// metadata a client needs to know what it is talking to.
+type StatusView struct {
+	Status      string   `json:"status"` // always "ok" — a served response is a live server
+	Fingerprint string   `json:"fingerprint"`
+	Workers     int      `json:"workers"`
+	Experiments []string `json:"experiments"`
+	Cache       bool     `json:"cache"`
+	CacheDir    string   `json:"cache_dir,omitempty"`
+	// CacheStats is present only when Cache is true.
+	CacheStats *CacheStatsView `json:"cache_stats,omitempty"`
+	// SimsExecuted counts the worker endpoint's actual executions
+	// (cache hits excluded): a coordinator smoke asserts this moves
+	// on a cold run and stays put on a warm one.
+	SimsExecuted int64 `json:"sims_executed"`
+	// Jobs is how many jobs the bounded store currently retains.
+	Jobs int `json:"jobs"`
+}
+
+// statusView snapshots the server for the health/fingerprint routes.
+func (s *Server) statusView() StatusView {
+	s.mu.Lock()
+	retained := len(s.jobs)
+	s.mu.Unlock()
+	v := StatusView{
+		Status:       "ok",
+		Fingerprint:  cache.Fingerprint(),
+		Workers:      s.runner.Workers(),
+		Experiments:  exp.IDs(),
+		SimsExecuted: s.simsExecuted.Load(),
+		Jobs:         retained,
+	}
+	if c := s.runner.Cache(); c != nil {
+		v.Cache = true
+		v.CacheDir = c.Dir()
+		st := c.Stats()
+		v.CacheStats = &CacheStatsView{Hits: st.Hits, Misses: st.Misses, Writes: st.Writes}
+	}
+	return v
+}
+
+// handleStatusView answers the health and fingerprint routes with one
+// shared StatusView payload.
+func (s *Server) handleStatusView(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statusView())
 }

@@ -410,40 +410,33 @@ func TestJobStoreEviction(t *testing.T) {
 	}
 }
 
-// TestFingerprintAndHealthz: the operational endpoints a deployment
-// scrapes.
-func TestFingerprintAndHealthz(t *testing.T) {
+// TestStatusEndpoints: /v1/healthz, the legacy /healthz alias and
+// /v1/fingerprint all serve the same StatusView payload.
+func TestStatusEndpoints(t *testing.T) {
 	ts := newTestServer(t, 2, 8)
-	resp, err := http.Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
-		t.Errorf("healthz: %d %q", resp.StatusCode, body)
-	}
-
-	resp, err = http.Get(ts.URL + "/v1/fingerprint")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var fp struct {
-		Fingerprint string   `json:"fingerprint"`
-		Workers     int      `json:"workers"`
-		Experiments []string `json:"experiments"`
-		Cache       bool     `json:"cache"`
-	}
-	err = json.NewDecoder(resp.Body).Decode(&fp)
-	resp.Body.Close()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if fp.Fingerprint != cache.Fingerprint() {
-		t.Errorf("fingerprint %q, want %q", fp.Fingerprint, cache.Fingerprint())
-	}
-	if fp.Workers != 2 || !fp.Cache || len(fp.Experiments) != len(exp.IDs()) {
-		t.Errorf("fingerprint metadata wrong: %+v", fp)
+	for _, path := range []string{"/v1/healthz", "/healthz", "/v1/fingerprint"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sv StatusView
+		err = json.NewDecoder(resp.Body).Decode(&sv)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK || sv.Status != "ok" {
+			t.Errorf("%s: %d status %q, want 200 ok", path, resp.StatusCode, sv.Status)
+		}
+		if sv.Fingerprint != cache.Fingerprint() {
+			t.Errorf("%s: fingerprint %q, want %q", path, sv.Fingerprint, cache.Fingerprint())
+		}
+		if sv.Workers != 2 || !sv.Cache || len(sv.Experiments) != len(exp.IDs()) {
+			t.Errorf("%s: metadata wrong: %+v", path, sv)
+		}
+		if sv.CacheStats == nil || sv.CacheDir == "" {
+			t.Errorf("%s: cached server missing cache_dir/cache_stats: %+v", path, sv)
+		}
 	}
 }
 

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"testing"
+
+	"mediasmt/internal/core"
+	"mediasmt/internal/mem"
+)
+
+// observerConfig is a small but non-trivial run: multi-threaded, real
+// memory, enough cycles that several samples fire at a short period.
+func observerConfig() Config {
+	return Config{
+		ISA:     core.ISAMMX,
+		Threads: 4,
+		Policy:  core.PolicyICOUNT,
+		Memory:  mem.ModeConventional,
+		Scale:   0.02,
+		Seed:    42,
+	}
+}
+
+// TestObserverResultIdentity pins the tentpole's core promise: an
+// attached observer cannot change simulation results, because samples
+// fire only at executed cycles and never touch NextWakeup/AdvanceTo.
+func TestObserverResultIdentity(t *testing.T) {
+	cfg := observerConfig()
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := 0
+	observed, err := RunObserved(cfg, &Observer{
+		SampleEvery: 512,
+		OnSample:    func(Sample) { samples++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, plain, observed)
+	if samples == 0 {
+		t.Fatalf("observer never fired on a %d-cycle run", plain.Cycles)
+	}
+}
+
+// TestObserverCadence checks samples arrive every SampleEvery executed
+// cycles with monotonically increasing cycle stamps and cumulative
+// counters, and that mem state rides along.
+func TestObserverCadence(t *testing.T) {
+	cfg := observerConfig()
+	const every = 256
+	var got []Sample
+	res, err := RunObserved(cfg, &Observer{
+		SampleEvery: every,
+		OnSample:    func(s Sample) { got = append(got, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 2 {
+		t.Fatalf("want >= 2 samples on a %d-cycle run, got %d", res.Cycles, len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if b.Cycle <= a.Cycle {
+			t.Fatalf("sample %d cycle %d not after %d", i, b.Cycle, a.Cycle)
+		}
+		// The event engine may skip idle spans between executed cycles,
+		// so consecutive samples are >= every cycles apart, never less.
+		if d := b.Cycle - a.Cycle; d < every {
+			t.Fatalf("samples %d apart, want >= %d", d, every)
+		}
+		if b.Pipeline.Committed < a.Pipeline.Committed {
+			t.Fatalf("committed went backwards: %d -> %d", a.Pipeline.Committed, b.Pipeline.Committed)
+		}
+		if b.Mem.L1Accesses < a.Mem.L1Accesses {
+			t.Fatalf("mem counters went backwards: %d -> %d", a.Mem.L1Accesses, b.Mem.L1Accesses)
+		}
+	}
+	last := got[len(got)-1]
+	if last.Mem.L1Accesses == 0 {
+		t.Fatalf("real-memory run sampled zero L1 accesses")
+	}
+	occ := 0
+	for _, s := range got {
+		occ += s.Pipeline.ROBOcc
+	}
+	if occ == 0 {
+		t.Fatalf("every sample saw an empty graduation window on a busy run")
+	}
+}
+
+// TestObserverNilDegrades checks nil observers (and observers without
+// a callback) behave exactly like Run.
+func TestObserverNilDegrades(t *testing.T) {
+	cfg := observerConfig()
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, obs := range []*Observer{nil, {SampleEvery: 64}} {
+		r, err := RunObserved(cfg, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertResultsIdentical(t, plain, r)
+	}
+}
