@@ -84,6 +84,18 @@
 // simulation's own failure is never retried — it partitions onto its
 // experiments exactly like a local failure.
 //
+// The invariants above are enforced at lint time where possible:
+// cmd/mediavet (internal/analysis) is a custom analyzer suite run by
+// CI through `go vet -vettool` — simulator code must be deterministic
+// (no wall clock, no unseeded randomness, no goroutines, no unsorted
+// map iteration), internal/serve must speak the v1 error envelope,
+// metric registrations must be constant snake_case names with
+// conventional suffixes and no cross-package kind clashes, and
+// sim.Run/RunObserved stay behind the dist.Executor seam. Suppress a
+// finding with `//mediavet:ignore <reason>`. The analyzers check
+// build-time properties only; a behavioural change still needs the
+// sim.Version bump above.
+//
 // See README.md for the package layout, cmd/exps for regenerating
 // every table and figure (deduplicated and fanned out over a worker
 // pool), cmd/expsd for the HTTP service, and examples/ for runnable

@@ -40,6 +40,7 @@ func main() {
 }
 
 func run(k core.ISAKind, pol core.Policy, mode mem.Mode, mcfg *mem.Config) *sim.Result {
+	//mediavet:ignore examples demonstrate the one-shot sim API; campaigns go through dist.Executor
 	r, err := sim.Run(sim.Config{
 		ISA:         k,
 		Threads:     8,

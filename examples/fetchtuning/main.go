@@ -24,6 +24,7 @@ func main() {
 			if isaKind == core.ISAMMX && pol == core.PolicyOCOUNT {
 				continue // OCOUNT reads the stream-length register: MOM only
 			}
+			//mediavet:ignore examples demonstrate the one-shot sim API; campaigns go through dist.Executor
 			r, err := sim.Run(sim.Config{
 				ISA:     isaKind,
 				Threads: 8,

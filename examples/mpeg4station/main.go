@@ -33,6 +33,7 @@ func main() {
 }
 
 func run(k core.ISAKind, threads int, mode mem.Mode) *sim.Result {
+	//mediavet:ignore examples demonstrate the one-shot sim API; campaigns go through dist.Executor
 	r, err := sim.Run(sim.Config{
 		ISA:     k,
 		Threads: threads,

@@ -13,6 +13,7 @@ import (
 )
 
 func main() {
+	//mediavet:ignore examples demonstrate the one-shot sim API; campaigns go through dist.Executor
 	res, err := sim.Run(sim.Config{
 		ISA:     core.ISAMOM,
 		Threads: 4,

@@ -1,0 +1,158 @@
+// Package analysistest runs one analyzer over a fixture module and
+// matches its diagnostics against expectations embedded in the
+// fixture source, in the style of golang.org/x/tools'
+// go/analysis/analysistest:
+//
+//	r, _ := http.Get(url) // want `http.Error bypasses`
+//
+// Each `// want` comment carries one or more Go string literals, each
+// a regexp that must match a diagnostic reported on that line; a want
+// comment alone on a line states expectations for the line below it.
+// Every diagnostic must be wanted and every want must be matched.
+//
+// Fixtures live under testdata/src/mediasmt — a self-contained module
+// named like the real one, so analyzers' package-path gates see the
+// paths they will see in production.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mediasmt/internal/analysis"
+)
+
+// module mirrors the real module path so fixture packages sit at the
+// import paths the analyzers guard.
+const module = "mediasmt"
+
+// Run applies a to the fixture module under testdata and reports any
+// mismatch between diagnostics and `// want` expectations on t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	moduleDir := filepath.Join(testdata, "src", module)
+	if _, err := os.Stat(filepath.Join(moduleDir, "go.mod")); err != nil {
+		t.Fatalf("fixture module missing: %v", err)
+	}
+	diags, fset, err := analysis.RunStandalone(moduleDir, module, patterns, []*analysis.Analyzer{a}, nil)
+	if err != nil {
+		t.Fatalf("analysis failed: %v", err)
+	}
+	wants, err := collectWants(moduleDir)
+	if err != nil {
+		t.Fatalf("parse want comments: %v", err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(wants, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s (mediavet:%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// want is one expectation: a regexp that must match a diagnostic
+// message on (file, line).
+type want struct {
+	file    string
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// claim marks the first unmatched want covering the diagnostic.
+func claim(wants []*want, pos token.Position, message string) bool {
+	for _, w := range wants {
+		if w.matched || w.line != pos.Line || w.file != filepath.Clean(pos.Filename) {
+			continue
+		}
+		if w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRx finds the expectation comment; string literals after it are
+// extracted with the Go scanner rules (quoted or backquoted).
+var wantRx = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// collectWants scans every fixture .go file for want comments.
+func collectWants(moduleDir string) ([]*want, error) {
+	var wants []*want
+	err := filepath.WalkDir(moduleDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		abs, aerr := filepath.Abs(path)
+		if aerr != nil {
+			return aerr
+		}
+		for i, lineText := range strings.Split(string(data), "\n") {
+			m := wantRx.FindStringSubmatchIndex(lineText)
+			if m == nil {
+				continue
+			}
+			line := i + 1 // 1-based
+			if strings.TrimSpace(lineText[:m[0]]) == "" {
+				line++ // own-line comment: expectations are for the next line
+			}
+			patterns, perr := parsePatterns(lineText[m[2]:m[3]])
+			if perr != nil {
+				return fmt.Errorf("%s:%d: %v", path, i+1, perr)
+			}
+			for _, p := range patterns {
+				re, cerr := regexp.Compile(p)
+				if cerr != nil {
+					return fmt.Errorf("%s:%d: bad want regexp: %v", path, i+1, cerr)
+				}
+				wants = append(wants, &want{file: abs, line: line, pattern: p, re: re})
+			}
+		}
+		return nil
+	})
+	return wants, err
+}
+
+// parsePatterns splits `"a" "b"` / backquoted forms into their string
+// values.
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("want expectations must be quoted or backquoted strings (got %q)", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want string in %q", s)
+		}
+		lit := s[:end+2]
+		val, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want string %q: %v", lit, err)
+		}
+		out = append(out, val)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out, nil
+}

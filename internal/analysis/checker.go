@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// unit is one type-checked package ready for analysis.
+type unit struct {
+	fset  *token.FileSet
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// runAnalyzers applies every enabled analyzer to u, sharing facts, and
+// returns the surviving diagnostics sorted by position: mediavet:ignore
+// suppressions are applied, malformed directives are themselves
+// reported, and each analyzer's fact exports land in facts for
+// downstream packages.
+func runAnalyzers(u *unit, analyzers []*Analyzer, facts *factStore) ([]Diagnostic, error) {
+	ignores, malformed := scanIgnores(u.fset, u.files)
+	diags := malformed
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      u.fset,
+			Files:     u.files,
+			Pkg:       u.pkg,
+			TypesInfo: u.info,
+			facts:     facts,
+		}
+		pass.report = func(d Diagnostic) {
+			pos := u.fset.Position(d.Pos)
+			if ignores.suppressed(pos.Filename, pos.Line) {
+				return
+			}
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := u.fset.Position(diags[i].Pos), u.fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return diags, nil
+}
+
+// NonTestFiles filters a package's syntax down to the files analyzers
+// inspect: _test.go files carry test scaffolding (fakes, forced
+// failures) that deliberately breaks production invariants, so every
+// analyzer skips them.
+func NonTestFiles(fset *token.FileSet, files []*ast.File) []*ast.File {
+	out := files[:0:0]
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// enabledAnalyzers applies the per-analyzer boolean flags (nil map =
+// everything on).
+func enabledAnalyzers(analyzers []*Analyzer, enabled map[string]bool) []*Analyzer {
+	if enabled == nil {
+		return analyzers
+	}
+	out := analyzers[:0:0]
+	for _, a := range analyzers {
+		if on, ok := enabled[a.Name]; !ok || on {
+			out = append(out, a)
+		}
+	}
+	return out
+}

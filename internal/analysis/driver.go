@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Main is the entry point shared by cmd/mediavet's two personalities:
+//
+//   - `go vet -vettool=mediavet ./...` — cmd/go first probes the tool
+//     with -V=full (version/build-ID handshake for result caching) and
+//     -flags (JSON flag inventory), then invokes it once per package
+//     with a generated vet.cfg path as the only positional argument;
+//   - `mediavet [patterns]` — standalone mode: load the matching
+//     packages of the module in the current directory and analyze them
+//     all in one process.
+//
+// module scopes the suite: only packages inside it are analyzed.
+// Returns the process exit code.
+func Main(module string, analyzers []*Analyzer, args []string) int {
+	fs := flag.NewFlagSet("mediavet", flag.ContinueOnError)
+	versionFlag := fs.String("V", "", "print version and exit (vet tool protocol)")
+	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON (vet tool protocol)")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON")
+	toggles := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		toggles[a.Name] = fs.Bool(a.Name, true, doc)
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: mediavet [flags] [package patterns | vet.cfg]\n\n"+
+			"mediavet checks the mediasmt tree against its simulator invariants.\n"+
+			"Run it directly on package patterns, or through go vet -vettool.\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(fs.Output(), "  %-16s %s\n", a.Name, doc)
+		}
+		fmt.Fprintf(fs.Output(), "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *versionFlag != "" {
+		printVersion(os.Stdout)
+		return 0
+	}
+	if *flagsFlag {
+		printFlagDefs(os.Stdout, analyzers)
+		return 0
+	}
+
+	enabled := make(map[string]bool, len(toggles))
+	for name, on := range toggles {
+		enabled[name] = *on
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runUnit(rest[0], module, analyzers, enabled)
+	}
+
+	diags, fset, err := RunStandalone(".", module, rest, analyzers, enabled)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mediavet: %v\n", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	if *jsonFlag {
+		type jsonDiag struct {
+			Pos      string `json:"posn"`
+			Message  string `json:"message"`
+			Analyzer string `json:"analyzer"`
+		}
+		out := make([]jsonDiag, len(diags))
+		for i, d := range diags {
+			out[i] = jsonDiag{Pos: fset.Position(d.Pos).String(), Message: d.Message, Analyzer: d.Analyzer}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	} else {
+		printDiagnostics(os.Stderr, fset, diags)
+	}
+	return 2
+}
+
+// printVersion answers cmd/go's -V=full handshake. The line must read
+// `<name> version devel ... buildID=<id>`; the build ID is a content
+// hash of the binary so go vet's result cache invalidates whenever the
+// tool is rebuilt with different analyzers.
+func printVersion(w io.Writer) {
+	name := "mediavet"
+	if len(os.Args) > 0 {
+		name = filepath.Base(os.Args[0])
+	}
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			id = fmt.Sprintf("%x", sha256.Sum256(data))
+		}
+	}
+	fmt.Fprintf(w, "%s version devel buildID=%s\n", name, id)
+}
+
+// printFlagDefs answers cmd/go's -flags probe: the JSON inventory of
+// flags `go vet` may pass through to the tool.
+func printFlagDefs(w io.Writer, analyzers []*Analyzer) {
+	type flagDef struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	defs := []flagDef{{Name: "json", Bool: true, Usage: "emit diagnostics as JSON"}}
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		defs = append(defs, flagDef{Name: a.Name, Bool: true, Usage: doc})
+	}
+	data, _ := json.Marshal(defs)
+	fmt.Fprintf(w, "%s\n", data)
+}

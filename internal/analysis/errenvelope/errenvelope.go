@@ -1,0 +1,149 @@
+// Package errenvelope enforces the v1 HTTP error contract in
+// internal/serve: every non-2xx response is exactly one
+// {"error":{"code","message"}} envelope with a stable code, produced
+// by writeError in errors.go. Clients (including internal/dist's
+// remote executor) switch on the code, so a handler that reaches for
+// http.Error, writes its own error JSON, or emits a bare non-2xx
+// status silently breaks every consumer in the fleet.
+package errenvelope
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"mediasmt/internal/analysis"
+)
+
+// Analyzer implements the errenvelope check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errenvelope",
+	Doc: "require every internal/serve failure response to go through the v1 error envelope\n\n" +
+		"Non-2xx responses must be {\"error\":{\"code\",\"message\"}} with a stable code, emitted by\n" +
+		"writeError (errors.go). http.Error, hand-rolled error JSON and bare non-2xx WriteHeader\n" +
+		"calls bypass the contract and break envelope-parsing clients such as internal/dist.",
+	Run: run,
+}
+
+// servePath is the package the contract governs; envelopeFile is the
+// one file allowed to touch the raw mechanisms (it defines them).
+const (
+	servePath    = "mediasmt/internal/serve"
+	envelopeFile = "errors.go"
+)
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() != servePath {
+		return nil
+	}
+	for _, file := range analysis.NonTestFiles(pass.Fset, pass.Files) {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "/"+envelopeFile) || name == envelopeFile {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.BasicLit:
+				checkErrorJSON(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	switch fn := calleeFunc(pass, call).(type) {
+	case *types.Func:
+		switch {
+		case fn.Pkg() != nil && fn.Pkg().Path() == "net/http" && fn.Name() == "Error":
+			pass.Reportf(call.Pos(), "http.Error bypasses the v1 error envelope: use writeError with a stable code")
+		case fn.Name() == "WriteHeader" && isResponseWriterMethod(fn):
+			checkWriteHeader(pass, call)
+		case fn.Pkg() == pass.Pkg && fn.Name() == "writeJSON":
+			checkWriteJSON(pass, call)
+		}
+	}
+}
+
+// calleeFunc resolves the called object for both plain and selector
+// call forms.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isResponseWriterMethod reports whether fn is the WriteHeader method
+// of net/http.ResponseWriter (or a type embedding it).
+func isResponseWriterMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == "net/http"
+}
+
+// checkWriteHeader flags compile-time-constant non-2xx statuses. A
+// variable status is the envelope helper's own job and passes.
+func checkWriteHeader(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	status, ok := constInt(pass, call.Args[0])
+	if !ok || (status >= 200 && status < 300) {
+		return
+	}
+	pass.Reportf(call.Pos(), "WriteHeader(%d) outside %s bypasses the v1 error envelope: use writeError with a stable code", status, envelopeFile)
+}
+
+// checkWriteJSON flags writeJSON calls that ship a non-2xx status
+// without the ErrorEnvelope payload.
+func checkWriteJSON(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 3 {
+		return
+	}
+	status, ok := constInt(pass, call.Args[1])
+	if !ok || (status >= 200 && status < 300) {
+		return
+	}
+	if t := pass.TypesInfo.TypeOf(call.Args[2]); t != nil {
+		if named, ok := t.(*types.Named); ok && named.Obj().Name() == "ErrorEnvelope" && named.Obj().Pkg() == pass.Pkg {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(), "writeJSON with status %d must carry an ErrorEnvelope: use writeError with a stable code", status)
+}
+
+// checkErrorJSON flags string literals that embed a hand-rolled error
+// envelope.
+func checkErrorJSON(pass *analysis.Pass, lit *ast.BasicLit) {
+	if lit.Kind != token.STRING {
+		return
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	if strings.Contains(strings.ReplaceAll(s, " ", ""), `{"error"`) {
+		pass.Reportf(lit.Pos(), "hand-rolled error JSON bypasses the v1 error envelope: use writeError with a stable code")
+	}
+}
+
+// constInt evaluates e as a compile-time integer constant.
+func constInt(pass *analysis.Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

@@ -1,0 +1,12 @@
+package errenvelope_test
+
+import (
+	"testing"
+
+	"mediasmt/internal/analysis/analysistest"
+	"mediasmt/internal/analysis/errenvelope"
+)
+
+func TestErrEnvelope(t *testing.T) {
+	analysistest.Run(t, "testdata", errenvelope.Analyzer, "mediasmt/internal/serve")
+}

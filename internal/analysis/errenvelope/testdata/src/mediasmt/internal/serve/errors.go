@@ -1,0 +1,33 @@
+// errors.go is the one file allowed to touch the raw response
+// mechanisms: it defines the envelope. Nothing in this file is
+// reported.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// ErrorBody is the inner object of the v1 error envelope.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the JSON shape of every non-2xx response.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// writeError emits the envelope; being in errors.go, its non-2xx
+// plumbing is exempt.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// rawFallback exercises the exemption: raw mechanisms in errors.go
+// draw no diagnostics.
+func rawFallback(w http.ResponseWriter) {
+	http.Error(w, "catastrophic", http.StatusInternalServerError)
+	w.WriteHeader(http.StatusTeapot)
+}

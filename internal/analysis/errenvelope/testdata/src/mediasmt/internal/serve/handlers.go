@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// writeJSON is the shared 2xx emitter; its variable status is the
+// envelope helper's business and draws no diagnostic.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type view struct {
+	OK bool `json:"ok"`
+}
+
+func handleBad(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "nope", http.StatusBadRequest) // want `http.Error bypasses the v1 error envelope`
+	w.WriteHeader(http.StatusNotFound)           // want `WriteHeader\(404\) outside errors.go bypasses the v1 error envelope`
+	w.WriteHeader(502)                           // want `WriteHeader\(502\) outside errors.go bypasses the v1 error envelope`
+	writeJSON(w, http.StatusConflict, view{})    // want `writeJSON with status 409 must carry an ErrorEnvelope`
+	fmt.Fprintf(w, `{"error": %q}`, "handmade")  // want `hand-rolled error JSON bypasses the v1 error envelope`
+}
+
+func handleGood(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	writeJSON(w, http.StatusCreated, view{OK: true})
+	writeError(w, http.StatusBadRequest, "bad_request", "field %s", "scale")
+	// A non-2xx writeJSON is fine when it ships the envelope itself
+	// (the 409 fingerprint-mismatch shape).
+	writeJSON(w, http.StatusConflict, ErrorEnvelope{Error: ErrorBody{Code: "fingerprint_mismatch", Message: "skew"}})
+	// Variable statuses are the helper's business.
+	status := pickStatus(r)
+	w.WriteHeader(status)
+}
+
+func handleIgnored(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusBadGateway) //mediavet:ignore raw proxy passthrough keeps upstream bytes intact
+}
+
+func pickStatus(r *http.Request) int {
+	if r == nil {
+		return http.StatusOK
+	}
+	return http.StatusAccepted
+}

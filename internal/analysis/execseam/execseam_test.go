@@ -1,0 +1,14 @@
+package execseam_test
+
+import (
+	"testing"
+
+	"mediasmt/internal/analysis/analysistest"
+	"mediasmt/internal/analysis/execseam"
+)
+
+func TestExecSeam(t *testing.T) {
+	analysistest.Run(t, "testdata", execseam.Analyzer,
+		"mediasmt/internal/dist", "mediasmt/internal/obs", "mediasmt/internal/exp",
+		"mediasmt/cmd/smtsim", "mediasmt/cmd/exps")
+}

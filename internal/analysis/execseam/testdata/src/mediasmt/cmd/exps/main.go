@@ -1,0 +1,13 @@
+// Command exps is an experiment CLI: it must go through the Executor
+// seam, not the sim entry points.
+package main
+
+import "mediasmt/internal/sim"
+
+func main() {
+	res, err := sim.RunObserved(sim.Config{Threads: 2}, &sim.Observer{}) // want `sim.RunObserved bypasses the dist.Executor seam`
+	if err != nil {
+		panic(err)
+	}
+	_ = res
+}

@@ -1,0 +1,11 @@
+// Command smtsim is the single-simulation debugging CLI: allowed to
+// run the simulator directly.
+package main
+
+import "mediasmt/internal/sim"
+
+func main() {
+	if _, err := sim.Run(sim.Config{Threads: 1}); err != nil {
+		panic(err)
+	}
+}

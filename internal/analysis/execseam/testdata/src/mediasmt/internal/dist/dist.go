@@ -1,0 +1,10 @@
+// Package dist is the executor seam itself: it may call sim.Run
+// directly.
+package dist
+
+import "mediasmt/internal/sim"
+
+// Execute is the seam's local policy.
+func Execute(cfg sim.Config) (*sim.Result, error) {
+	return sim.Run(cfg)
+}

@@ -1,0 +1,29 @@
+// Package exp is the experiment engine: it must inject an Executor,
+// never touch the sim entry points itself.
+package exp
+
+import "mediasmt/internal/sim"
+
+// Runner mimics an engine that wires the simulator directly.
+type Runner struct {
+	exec func(sim.Config) (*sim.Result, error)
+}
+
+// BadCall invokes a guarded entry point directly.
+func BadCall(cfg sim.Config) (*sim.Result, error) {
+	return sim.Run(cfg) // want `sim.Run bypasses the dist.Executor seam`
+}
+
+// BadRef captures guarded entry points as values without calling them.
+func BadRef() *Runner {
+	r := &Runner{exec: sim.Run} // want `sim.Run bypasses the dist.Executor seam`
+	f := sim.RunReference       // want `sim.RunReference bypasses the dist.Executor seam`
+	_ = f
+	return r
+}
+
+// Ignored shows the escape hatch for a deliberate bypass.
+func Ignored(cfg sim.Config) (*sim.Result, error) {
+	//mediavet:ignore one-shot calibration probe, bounded and uncached by design
+	return sim.RunReference(cfg)
+}

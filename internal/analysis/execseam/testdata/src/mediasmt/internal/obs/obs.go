@@ -1,0 +1,10 @@
+// Package obs is the instrumented runner: it may call sim.RunObserved
+// directly.
+package obs
+
+import "mediasmt/internal/sim"
+
+// Run wraps the observed entry point.
+func Run(cfg sim.Config) (*sim.Result, error) {
+	return sim.RunObserved(cfg, &sim.Observer{})
+}

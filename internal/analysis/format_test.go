@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestDiagnosticFormat pins the documented output format:
+// file:line:col: message (mediavet:analyzer).
+func TestDiagnosticFormat(t *testing.T) {
+	fset := token.NewFileSet()
+	src := "package p\n\nvar x = 1\n"
+	f, err := parser.ParseFile(fset, "p/p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := []Diagnostic{{
+		Pos:      f.Decls[0].Pos(),
+		Message:  "something is wrong",
+		Analyzer: "simdeterminism",
+	}}
+	var sb strings.Builder
+	printDiagnostics(&sb, fset, diags)
+	got := sb.String()
+	want := "p/p.go:3:1: something is wrong (mediavet:simdeterminism)\n"
+	if got != want {
+		t.Fatalf("diagnostic format drifted:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestInModule(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"mediasmt", true},
+		{"mediasmt/internal/sim", true},
+		{"mediasmtother", false},
+		{"fmt", false},
+	}
+	for _, c := range cases {
+		if got := InModule("mediasmt", c.path); got != c.want {
+			t.Errorf("InModule(mediasmt, %q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// ignoreDirective is the suite-wide suppression comment. The reason
+// is mandatory — a suppression must carry its justification.
+const ignoreDirective = "//mediavet:ignore"
+
+// ignoreSet records, per filename, the source lines whose mediavet
+// diagnostics are suppressed.
+type ignoreSet map[string]map[int]bool
+
+func (s ignoreSet) add(file string, line int) {
+	m := s[file]
+	if m == nil {
+		m = make(map[int]bool)
+		s[file] = m
+	}
+	m[line] = true
+}
+
+func (s ignoreSet) suppressed(file string, line int) bool { return s[file][line] }
+
+// scanIgnores walks every comment of files looking for mediavet:ignore
+// directives. A trailing directive suppresses its own line; a
+// directive alone on a line suppresses the line below it. Directives
+// without a reason suppress nothing and are returned as diagnostics
+// themselves.
+func scanIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagnostic) {
+	ignores := make(ignoreSet)
+	var malformed []Diagnostic
+	srcCache := make(map[string][]byte)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				rest := c.Text[len(ignoreDirective):]
+				pos := fset.Position(c.Slash)
+				if reason := strings.TrimSpace(rest); reason == "" || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					malformed = append(malformed, Diagnostic{
+						Pos:      c.Slash,
+						Message:  `mediavet:ignore requires a reason: "//mediavet:ignore <why this is safe>"`,
+						Analyzer: "mediavet",
+					})
+					continue
+				}
+				line := pos.Line
+				if ownLine(srcCache, pos) {
+					line++ // directive above the code it excuses
+				}
+				ignores.add(pos.Filename, line)
+			}
+		}
+	}
+	return ignores, malformed
+}
+
+// ownLine reports whether only whitespace precedes the comment on its
+// source line, i.e. the directive stands alone rather than trailing
+// code.
+func ownLine(srcCache map[string][]byte, pos token.Position) bool {
+	src, ok := srcCache[pos.Filename]
+	if !ok {
+		src, _ = os.ReadFile(pos.Filename)
+		srcCache[pos.Filename] = src
+	}
+	if pos.Offset > len(src) {
+		return false
+	}
+	for i := pos.Offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case ' ', '\t':
+			continue
+		case '\n':
+			return true
+		default:
+			return false
+		}
+	}
+	return true // first byte of the file
+}

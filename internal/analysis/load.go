@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the standalone
+// driver needs: syntax for module packages, compiled export data for
+// everything else.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ GoVersion string }
+}
+
+// RunStandalone loads the packages matching patterns (plus their
+// dependencies) from the module rooted in dir, type-checks every
+// module package from source against the toolchain's export data for
+// the rest, and applies the enabled analyzers to each pattern-matched
+// module package in dependency order, so package facts flow before
+// they are imported. It shells out to `go list -deps -export`, which
+// works offline and reuses the build cache.
+func RunStandalone(dir, module string, patterns []string, analyzers []*Analyzer, enabled map[string]bool) ([]Diagnostic, *token.FileSet, error) {
+	analyzers = enabledAnalyzers(analyzers, enabled)
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		module:  module,
+		byPath:  make(map[string]*listPackage, len(pkgs)),
+		typed:   make(map[string]*unit),
+		exports: make(map[string]string, len(pkgs)),
+	}
+	ld.gc = importer.ForCompiler(fset, "gc", ld.lookupExport)
+	for _, p := range pkgs {
+		ld.byPath[p.ImportPath] = p
+		if p.Export != "" {
+			ld.exports[p.ImportPath] = p.Export
+		}
+	}
+
+	facts := newFactStore()
+	var diags []Diagnostic
+	// `go list -deps` emits dependencies before dependents, so facts
+	// for imported packages are always computed first; check() still
+	// recurses defensively.
+	for _, p := range pkgs {
+		if !InModule(module, p.ImportPath) {
+			continue
+		}
+		u, err := ld.check(p.ImportPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		ds, err := runAnalyzers(u, analyzers, facts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !p.DepOnly {
+			diags = append(diags, ds...)
+		}
+	}
+	return diags, fset, nil
+}
+
+// goList runs `go list -deps -export -json` and decodes the stream.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Name,GoFiles,Imports,Export,Standard,DepOnly,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// The loader must behave identically under `go test`, CI and the
+	// CLI: no workspace files, no GOFLAGS surprises from the caller.
+	cmd.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&out)
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// loader type-checks module packages from source, resolving external
+// imports through compiled export data.
+type loader struct {
+	fset     *token.FileSet
+	module   string
+	byPath   map[string]*listPackage
+	typed    map[string]*unit
+	exports  map[string]string
+	gc       types.Importer
+	checking []string // cycle guard (go list would have failed first)
+}
+
+func (l *loader) lookupExport(path string) (io.ReadCloser, error) {
+	file := l.exports[path]
+	if file == "" {
+		return nil, fmt.Errorf("analysis: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// Import implements types.Importer over the mixed source/export world.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if InModule(l.module, path) {
+		u, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return u.pkg, nil
+	}
+	return l.gc.Import(path)
+}
+
+// check parses and type-checks one module package (memoized).
+func (l *loader) check(path string) (*unit, error) {
+	if u, ok := l.typed[path]; ok {
+		return u, nil
+	}
+	lp := l.byPath[path]
+	if lp == nil {
+		return nil, fmt.Errorf("analysis: package %q not in go list output", path)
+	}
+	for _, p := range l.checking {
+		if p == path {
+			return nil, fmt.Errorf("analysis: import cycle through %q", path)
+		}
+	}
+	l.checking = append(l.checking, path)
+	defer func() { l.checking = l.checking[:len(l.checking)-1] }()
+
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: l}
+	if lp.Module != nil && lp.Module.GoVersion != "" {
+		conf.GoVersion = "go" + lp.Module.GoVersion
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %v", path, err)
+	}
+	u := &unit{fset: l.fset, files: files, pkg: pkg, info: info}
+	l.typed[path] = u
+	return u, nil
+}

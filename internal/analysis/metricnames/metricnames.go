@@ -1,0 +1,259 @@
+// Package metricnames enforces the instrumentation naming contract on
+// every internal/metrics.Registry registration in the module: names
+// and label keys are compile-time snake_case constants, counters end
+// in _total, gauges do not, histograms carry an explicit unit suffix,
+// and one name maps to exactly one instrument kind across the whole
+// program. The kind rule is today a runtime panic inside
+// Registry.lookup — first hit when two packages that never meet in a
+// test are finally wired into the same expsd process; this analyzer
+// moves it to lint time by exporting each package's registrations as a
+// fact and checking the union along every import edge.
+package metricnames
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"mediasmt/internal/analysis"
+)
+
+// Analyzer implements the metricnames check.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricnames",
+	Doc: "require constant snake_case metric names with conventional suffixes and one kind per name\n\n" +
+		"Registry.Counter/Gauge/Histogram calls must pass compile-time-constant snake_case names\n" +
+		"(_total for counters, a unit suffix such as _seconds for histograms) and constant label\n" +
+		"keys; registering one name as two kinds anywhere in the program is reported at lint time\n" +
+		"instead of panicking at first contact in production.",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(Registrations)},
+}
+
+// metricsPath is the package whose Registry the contract governs.
+const metricsPath = "mediasmt/internal/metrics"
+
+// Registration records one (name, kind) pair and where it was made.
+type Registration struct {
+	Kind string // "counter", "gauge", "histogram"
+	Pos  string // file:line of the first registration seen
+}
+
+// Registrations is the package fact: every metric name registered by
+// the package and (transitively) its imports, so kind clashes surface
+// at the first package that links the two worlds together.
+type Registrations struct {
+	M map[string]Registration
+}
+
+// AFact marks Registrations as an analysis fact.
+func (*Registrations) AFact() {}
+
+// histogramUnits are the accepted histogram suffixes: a histogram
+// name must say what it measures.
+var histogramUnits = []string{"_seconds", "_bytes", "_cycles", "_insts", "_ratio"}
+
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+func run(pass *analysis.Pass) error {
+	merged := make(map[string]Registration)
+	// Seed with every imported package's registrations; facts are
+	// merged re-exports, so direct imports carry the transitive set.
+	for _, imp := range sortedImports(pass.Pkg) {
+		var f Registrations
+		if !pass.ImportPackageFact(imp.Path(), &f) {
+			continue
+		}
+		// Iterate in name order: the analyzer obeys the determinism
+		// rule it enforces.
+		names := make([]string, 0, len(f.M))
+		for name := range f.M {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			reg := f.M[name]
+			if prev, ok := merged[name]; ok && prev.Kind != reg.Kind {
+				pass.Reportf(pass.Files[0].Pos(), "imported packages disagree on metric %q: %s at %s vs %s at %s", name, prev.Kind, prev.Pos, reg.Kind, reg.Pos)
+				continue
+			}
+			merged[name] = reg
+		}
+	}
+
+	for _, file := range analysis.NonTestFiles(pass.Fset, pass.Files) {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := registryCall(pass, call)
+			if !ok {
+				return true
+			}
+			checkRegistration(pass, call, kind, merged)
+			return true
+		})
+	}
+
+	if len(merged) > 0 {
+		pass.ExportPackageFact(&Registrations{M: merged})
+	}
+	return nil
+}
+
+// registryCall reports whether call is Registry.Counter/Gauge/
+// Histogram from internal/metrics, returning the instrument kind.
+func registryCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != metricsPath {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Counter":
+		return "counter", true
+	case "Gauge":
+		return "gauge", true
+	case "Histogram":
+		return "histogram", true
+	}
+	return "", false
+}
+
+func checkRegistration(pass *analysis.Pass, call *ast.CallExpr, kind string, merged map[string]Registration) {
+	if len(call.Args) == 0 {
+		return
+	}
+	name, ok := constString(pass, call.Args[0])
+	if !ok {
+		pass.Reportf(call.Args[0].Pos(), "metric name must be a compile-time constant so the fleet's metric namespace is auditable")
+		return
+	}
+	if !snakeCase.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(), "metric name %q is not snake_case", name)
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(call.Args[0].Pos(), "counter name %q must end in _total", name)
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") {
+			pass.Reportf(call.Args[0].Pos(), "gauge name %q must not end in _total (that suffix marks counters)", name)
+		}
+	case "histogram":
+		if !hasUnitSuffix(name) {
+			pass.Reportf(call.Args[0].Pos(), "histogram name %q must end in a unit suffix (%s)", name, strings.Join(histogramUnits, ", "))
+		}
+	}
+
+	checkLabels(pass, call, kind)
+
+	pos := pass.Fset.Position(call.Args[0].Pos())
+	at := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+	if prev, ok := merged[name]; ok && prev.Kind != kind {
+		pass.Reportf(call.Args[0].Pos(), "metric %q is already registered as a %s (%s); registering it as a %s here would panic at runtime", name, prev.Kind, prev.Pos, kind)
+		return
+	} else if !ok {
+		merged[name] = Registration{Kind: kind, Pos: at}
+	}
+}
+
+// checkLabels validates the variadic metrics.Label arguments: each
+// must be an inline metrics.L(key, ...) call or Label{...} literal
+// with a constant snake_case key.
+func checkLabels(pass *analysis.Pass, call *ast.CallExpr, kind string) {
+	first := 2 // name, help
+	if kind == "histogram" {
+		first = 3 // name, help, buckets
+	}
+	for i := first; i < len(call.Args); i++ {
+		arg := call.Args[i]
+		t := pass.TypesInfo.TypeOf(arg)
+		if t == nil || !isLabelType(t) {
+			pass.Reportf(arg.Pos(), "label arguments must be inline metrics.L(...) calls or Label literals with constant keys")
+			continue
+		}
+		key, ok := labelKey(pass, arg)
+		if !ok {
+			pass.Reportf(arg.Pos(), "label key must be a compile-time constant so the fleet's metric namespace is auditable")
+			continue
+		}
+		if !snakeCase.MatchString(key) {
+			pass.Reportf(arg.Pos(), "label key %q is not snake_case", key)
+		}
+	}
+}
+
+func isLabelType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Label" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == metricsPath
+}
+
+// labelKey extracts the constant key from metrics.L("key", v) or
+// metrics.Label{Key: "key", ...}.
+func labelKey(pass *analysis.Pass, arg ast.Expr) (string, bool) {
+	switch a := arg.(type) {
+	case *ast.CallExpr:
+		if len(a.Args) >= 1 {
+			return constString(pass, a.Args[0])
+		}
+	case *ast.CompositeLit:
+		for _, elt := range a.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				// Positional form: Label{"key", "value"}.
+				return constString(pass, a.Elts[0])
+			}
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Key" {
+				return constString(pass, kv.Value)
+			}
+		}
+	}
+	return "", false
+}
+
+func hasUnitSuffix(name string) bool {
+	for _, u := range histogramUnits {
+		if strings.HasSuffix(name, u) {
+			return true
+		}
+	}
+	return false
+}
+
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// sortedImports returns the package's direct imports in path order so
+// reports are deterministic.
+func sortedImports(pkg *types.Package) []*types.Package {
+	imps := append([]*types.Package(nil), pkg.Imports()...)
+	sort.Slice(imps, func(i, j int) bool { return imps[i].Path() < imps[j].Path() })
+	return imps
+}

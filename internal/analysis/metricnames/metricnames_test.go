@@ -1,0 +1,13 @@
+package metricnames_test
+
+import (
+	"testing"
+
+	"mediasmt/internal/analysis/analysistest"
+	"mediasmt/internal/analysis/metricnames"
+)
+
+func TestMetricNames(t *testing.T) {
+	analysistest.Run(t, "testdata", metricnames.Analyzer,
+		"mediasmt/internal/enc", "mediasmt/internal/obs2")
+}

@@ -1,0 +1,3 @@
+module mediasmt
+
+go 1.24

@@ -1,0 +1,37 @@
+// Package enc registers instruments with every naming mistake the
+// analyzer guards against, plus the clean shapes that must pass.
+package enc
+
+import "mediasmt/internal/metrics"
+
+// goodName is a constant: constants are fine, literals are fine.
+const goodName = "mediasmt_frames_total"
+
+// Register exercises the naming rules.
+func Register(reg *metrics.Registry, dynamic string) {
+	// Clean registrations draw nothing.
+	reg.Counter(goodName, "frames encoded")
+	reg.Counter("mediasmt_drops_total", "frames dropped", metrics.L("stage", "fetch"))
+	reg.Gauge("mediasmt_queue_depth", "current queue depth")
+	reg.Histogram("mediasmt_encode_seconds", "encode wall time", nil, metrics.Label{Key: "codec", Value: "mpeg4"})
+	// Registering the same name with the same kind twice is get-or-
+	// create, not a clash.
+	reg.Counter("mediasmt_drops_total", "frames dropped", metrics.L("stage", "decode"))
+
+	reg.Counter(dynamic, "whoever knows")                    // want `metric name must be a compile-time constant`
+	reg.Counter("mediasmt_BadFrames_total", "case mismatch") // want `metric name "mediasmt_BadFrames_total" is not snake_case`
+	reg.Counter("mediasmt_frames", "missing suffix")         // want `counter name "mediasmt_frames" must end in _total`
+	reg.Gauge("mediasmt_depth_total", "suffix lies")         // want `gauge name "mediasmt_depth_total" must not end in _total`
+	reg.Histogram("mediasmt_encode_time", "no unit", nil)    // want `histogram name "mediasmt_encode_time" must end in a unit suffix`
+
+	reg.Counter("mediasmt_tags_total", "labels", metrics.L(dynamic, "v"))      // want `label key must be a compile-time constant`
+	reg.Counter("mediasmt_more_total", "labels", metrics.L("BadKey", "v"))     // want `label key "BadKey" is not snake_case`
+	reg.Gauge("mediasmt_depths", "labels", metrics.Label{Key: "Q", Value: ""}) // want `label key "Q" is not snake_case`
+
+	// In-package kind clash: the runtime panic, surfaced at lint time
+	// (the counter suffix on a gauge is reported too).
+	reg.Gauge(goodName, "frames encoded") // want `gauge name "mediasmt_frames_total" must not end in _total` `metric "mediasmt_frames_total" is already registered as a counter`
+
+	// The escape hatch still works here.
+	reg.Counter(dynamic, "external scrape name") //mediavet:ignore name proxied verbatim from a legacy scraper config
+}

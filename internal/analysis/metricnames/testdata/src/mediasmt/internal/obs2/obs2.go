@@ -1,0 +1,16 @@
+// Package obs2 imports enc and re-registers one of its metric names
+// as a different kind: the clash crosses a package boundary, so only
+// the exported facts can catch it.
+package obs2
+
+import (
+	"mediasmt/internal/enc"
+	"mediasmt/internal/metrics"
+)
+
+// Register clashes with enc's counter of the same name.
+func Register(reg *metrics.Registry) {
+	enc.Register(reg, "seed")
+	reg.Gauge("mediasmt_frames_total", "same name, other kind") // want `gauge name "mediasmt_frames_total" must not end in _total` `metric "mediasmt_frames_total" is already registered as a counter`
+	reg.Counter("mediasmt_obs2_total", "clean local registration")
+}

@@ -1,0 +1,13 @@
+package simdeterminism_test
+
+import (
+	"testing"
+
+	"mediasmt/internal/analysis/analysistest"
+	"mediasmt/internal/analysis/simdeterminism"
+)
+
+func TestSimDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", simdeterminism.Analyzer,
+		"mediasmt/internal/sim", "mediasmt/internal/notcovered")
+}

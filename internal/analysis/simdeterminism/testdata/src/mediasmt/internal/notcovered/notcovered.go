@@ -1,0 +1,21 @@
+// Package notcovered sits outside the simulator subtrees: the same
+// constructs draw no diagnostics here.
+package notcovered
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Free may use host time, randomness, goroutines and map iteration.
+func Free(m map[int]int) int {
+	_ = time.Now()
+	n := rand.Int()
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	for k := range m {
+		n += k
+	}
+	return n
+}

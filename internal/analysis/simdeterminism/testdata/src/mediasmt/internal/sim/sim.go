@@ -1,0 +1,63 @@
+// Package sim is a fixture standing at the real simulator's import
+// path: every construct below must be caught (or blessed) exactly as
+// annotated.
+package sim
+
+import (
+	_ "crypto/rand" // want `import "crypto/rand" in simulator package mediasmt/internal/sim`
+	"math/rand"     // want `import "math/rand" in simulator package mediasmt/internal/sim`
+	"sort"
+	"time"
+)
+
+// Stats is an order-sensitive accumulator fed by map iteration below.
+type Stats struct{ Keys []int }
+
+// Bad collects one specimen of every forbidden construct.
+func Bad(m map[int]int) *Stats {
+	s := &Stats{}
+	t := time.Now()       // want `time.Now in simulator package mediasmt/internal/sim`
+	_ = time.Since(t)     // want `time.Since in simulator package mediasmt/internal/sim`
+	_ = rand.Int()        // no extra diagnostic: the import is the violation
+	go func() { _ = s }() // want `go statement in simulator package mediasmt/internal/sim`
+	for k, v := range m { // want `map iteration order is non-deterministic`
+		s.Keys = append(s.Keys, k+v)
+	}
+	return s
+}
+
+// Sorted is the blessed shape: collect the keys, sort, then index.
+func Sorted(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Ignored shows the escape hatch: a justified suppression on the same
+// line and one on the line above.
+func Ignored(m map[string]bool) int {
+	n := 0
+	for k := range m { //mediavet:ignore pure count, order cannot reach stats
+		if m[k] {
+			n++
+		}
+	}
+	//mediavet:ignore deliberate fixture use of the host clock
+	_ = time.Now()
+	return n
+}
+
+// Malformed shows that a reasonless directive suppresses nothing and
+// is itself reported.
+func Malformed() {
+	// want `mediavet:ignore requires a reason`
+	//mediavet:ignore
+	_ = time.Now() // want `time.Now in simulator package mediasmt/internal/sim`
+}

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeJobRequest: the job-submission decoder must never panic,
+// and every rejection must be a *requestError (a 400 naming the
+// field) — arbitrary client bytes must never surface as a 500.
+func FuzzDecodeJobRequest(f *testing.F) {
+	f.Add([]byte(`{"experiments":["table4"]}`))
+	f.Add([]byte(`{"experiments":["table4"],"scale":0.02,"seed":7,"workers":2,"max_cycles":100000}`))
+	f.Add([]byte(`{"experiments":[]}`))
+	f.Add([]byte(`{"experiments":["nope"]}`))
+	f.Add([]byte(`{"experiments":["table4"],"scale":-1}`))
+	f.Add([]byte(`{"experiments":["table4"]}{}`))
+	f.Add([]byte(`{"unknown":true}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ids, _, err := decodeJobRequest(bytes.NewReader(data))
+		if err != nil {
+			var re *requestError
+			if !errors.As(err, &re) {
+				t.Fatalf("rejection is not a *requestError (would 500): %T %v", err, err)
+			}
+			return
+		}
+		if len(ids) == 0 {
+			t.Fatal("accepted request resolved to zero experiments")
+		}
+	})
+}
+
+// FuzzDecodeSimRequest: the worker endpoint's config decoder must
+// never panic and must reject everything out of bounds with a
+// *requestError, exactly like the CLI flag validation.
+func FuzzDecodeSimRequest(f *testing.F) {
+	f.Add([]byte(`{"threads":1,"scale":0.02,"seed":7}`))
+	f.Add([]byte(`{"threads":0}`))
+	f.Add([]byte(`{"threads":1,"scale":99}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := decodeSimRequest(bytes.NewReader(data))
+		if err != nil {
+			var re *requestError
+			if !errors.As(err, &re) {
+				t.Fatalf("rejection is not a *requestError (would 500): %T %v", err, err)
+			}
+			return
+		}
+		if cfg.Threads < 1 {
+			t.Fatalf("decodeSimRequest accepted a threadless config: %+v", cfg)
+		}
+	})
+}

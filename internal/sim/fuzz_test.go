@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"mediasmt/internal/core"
+	"mediasmt/internal/mem"
+)
+
+// fuzzSeedConfig is a fully-populated config whose encoding seeds both
+// fuzzers: it exercises the optional override pointers and the
+// program-list field, the parts of the wire format most likely to
+// break under mutation.
+func fuzzSeedConfig() Config {
+	ccfg := core.ConfigForThreads(core.ISAMMX, 2)
+	mcfg := mem.DefaultConfig(mem.ModeConventional)
+	return Config{
+		ISA: core.ISAMMX, Threads: 2, Policy: core.PolicyICOUNT,
+		Memory: mem.ModeConventional, Scale: 0.02, Seed: 7,
+		CoreOverride: &ccfg, MemOverride: &mcfg,
+		Programs: []string{"mpeg2dec", "mpeg2enc"},
+	}
+}
+
+// FuzzDecodeConfig: DecodeConfig must never panic, and any input it
+// accepts must re-encode and decode back to the same config — the
+// dist worker endpoint feeds it bytes straight off the network.
+func FuzzDecodeConfig(f *testing.F) {
+	seed, err := EncodeConfig(fuzzSeedConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"threads":1}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"threads":0}`))
+	f.Add([]byte(`{"threads":1}{"threads":2}`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := DecodeConfig(data)
+		if err != nil {
+			return
+		}
+		if cfg.Threads < 1 {
+			t.Fatalf("DecodeConfig accepted a threadless config: %+v", cfg)
+		}
+		enc, err := EncodeConfig(cfg)
+		if err != nil {
+			t.Fatalf("accepted config failed to re-encode: %v", err)
+		}
+		again, err := DecodeConfig(enc)
+		if err != nil {
+			t.Fatalf("re-encoded config failed to decode: %v", err)
+		}
+		enc2, err := EncodeConfig(again)
+		if err != nil {
+			t.Fatalf("round-tripped config failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("round trip is not stable:\nfirst  %s\nsecond %s", enc, enc2)
+		}
+	})
+}
+
+// FuzzDecodeResult: DecodeResult must never panic, and any result it
+// accepts must carry a usable config and survive a re-encode cycle —
+// the on-disk cache and the dist coordinator both trust its output.
+func FuzzDecodeResult(f *testing.F) {
+	r, err := Run(Config{ISA: core.ISAMOM, Threads: 1, Memory: mem.ModeIdeal, Scale: 0.02, Seed: 7})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed, err := EncodeResult(r)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"cfg":{"threads":1}}`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := DecodeResult(data)
+		if err != nil {
+			return
+		}
+		if res.Cfg.Threads < 1 {
+			t.Fatalf("DecodeResult accepted a threadless result: %+v", res)
+		}
+		// Key() walks the whole config; it must not panic on anything
+		// the decoder let through.
+		_ = res.Cfg.Key()
+		enc, err := EncodeResult(res)
+		if err != nil {
+			t.Fatalf("accepted result failed to re-encode: %v", err)
+		}
+		if _, err := DecodeResult(enc); err != nil {
+			t.Fatalf("re-encoded result failed to decode: %v", err)
+		}
+	})
+}
