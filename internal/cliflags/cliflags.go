@@ -59,6 +59,43 @@ func MaxCycles(name string, v int64) error {
 	return nil
 }
 
+// PriorityBound is the magnitude limit on job scheduling priorities:
+// a band wide enough for any real tiering, small enough that a typo'd
+// value (a seed pasted into the priority field) is refused.
+const PriorityBound = 100
+
+// Priority bounds a job's scheduling priority. 0 is the default
+// class; higher runs first under contention, equal classes stay FIFO.
+func Priority(name string, v int) error {
+	if v < -PriorityBound || v > PriorityBound {
+		return fmt.Errorf("%s %d out of range (want %d..%d)", name, v, -PriorityBound, PriorityBound)
+	}
+	return nil
+}
+
+// WorkerURL validates one worker expsd base URL — the POST
+// /v1/workers registration body and the expsd -register/-advertise
+// flags — under the same rules Peers applies per element: absolute
+// http(s) URL with a host, no query or fragment, trailing slashes
+// stripped so the dist executors can append their endpoint paths.
+func WorkerURL(name, v string) (string, error) {
+	p := strings.TrimSpace(v)
+	if p == "" {
+		return "", fmt.Errorf("empty %s (want a worker base URL, e.g. http://host:8344)", name)
+	}
+	u, err := url.Parse(p)
+	if err != nil {
+		return "", fmt.Errorf("%s: %q: %v", name, p, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("%s: %q is not an http(s) worker URL (want e.g. http://host:8344)", name, p)
+	}
+	if u.RawQuery != "" || u.Fragment != "" {
+		return "", fmt.Errorf("%s: %q must be a base worker URL without query or fragment", name, p)
+	}
+	return strings.TrimRight(p, "/"), nil
+}
+
 // Peers parses and validates a comma-separated list of worker expsd
 // base URLs (exps -remote, expsd -peers). Every element must be an
 // absolute http or https URL with a host; trailing slashes are

@@ -12,6 +12,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"mediasmt/internal/mem"
 )
 
 // ISAKind selects which media extension the processor implements.
@@ -117,8 +119,11 @@ type Config struct {
 
 // MaxHWContexts bounds the number of hardware contexts a Config may
 // declare: fixed-size per-thread structures in the pipeline are sized
-// by it, and Validate refuses anything beyond it.
-const MaxHWContexts = 32
+// by it, and Validate refuses anything beyond it. The value is
+// single-sourced in internal/mem (which sizes its own per-thread
+// structures from it and cannot import this package); this re-export
+// keeps every existing core.MaxHWContexts reference valid.
+const MaxHWContexts = mem.MaxHWContexts
 
 // robSizes is the per-thread graduation-window size for 1/2/4/8
 // contexts (total window grows sub-linearly, as in the paper's Table 1).

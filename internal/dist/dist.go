@@ -3,8 +3,24 @@
 // the Executor interface instead of calling sim.Run directly, so the
 // same scheduler — singleflight dedup, read-through cache, failure
 // isolation — drives a local worker pool (Local), a set of remote
-// expsd workers (Remote), or a sharded combination with local
-// failover (Pool).
+// expsd workers (Remote), a statically sharded combination with local
+// failover (Pool), a work-stealing pool over dynamically registered
+// workers (StealPool over a Members registry), or any of those under
+// a priority admission gate (Priority).
+//
+// The daemon-facing policies are built for campaign-scale sweeps:
+// Members tracks worker membership as workers self-register (expsd's
+// POST /v1/workers), with a HealthChecker evicting peers that stop
+// answering so dead workers stop receiving shards. StealPool shards
+// work across the live members by config key to keep each worker's
+// cache hot, lets an idle worker steal from the longest backlog, and
+// speculatively re-executes stragglers on a second worker once they
+// outlive an adaptive latency threshold — first result wins, which is
+// safe because simulations are deterministic and cache-keyed.
+// Priority admits contended work highest class first (WithPriority on
+// the context, FIFO within a class) and re-reads the inner executor's
+// capacity on every release, so workers registering mid-queue admit
+// waiting jobs without new traffic.
 //
 // The split mirrors the paper's own argument one level up: DLP inside
 // a core, TLP across hardware contexts, and now process-level

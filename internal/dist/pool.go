@@ -84,10 +84,13 @@ func (p *Pool) Simulations() int64 { return p.local.Simulations() }
 
 // Limit derives a per-caller view: the peers are stateless and
 // shared, the local pool is re-derived so the view counts its own
-// failover executions.
+// failover executions — and is narrowed to n, so one job's failovers
+// cannot saturate the shared local pool past the job's own cap.
+// (limited clamps n to the pool size, so a view wider than the local
+// pool still gets at most the whole pool.)
 func (p *Pool) Limit(n int) Executor {
 	if n <= 0 || n > p.workers {
 		n = p.workers
 	}
-	return &Pool{peers: p.peers, local: p.local.limited(0), workers: n, failover: p.failover}
+	return &Pool{peers: p.peers, local: p.local.limited(n), workers: n, failover: p.failover}
 }

@@ -48,6 +48,15 @@ const (
 // no pending completion, no queued work, nothing in flight.
 const NoEvent = int64(math.MaxInt64)
 
+// MaxHWContexts bounds the number of hardware contexts a machine
+// configuration may declare. It lives here — the lowest layer that
+// sizes fixed per-thread structures (the per-thread I-miss table in
+// Real) — and internal/core re-exports it as core.MaxHWContexts for
+// its own per-thread pipeline structures and Validate bound, so the
+// two layers cannot drift apart. (core imports mem, so the constant
+// cannot live in core without an import cycle.)
+const MaxHWContexts = 32
+
 // System is the memory-system interface consumed by the pipeline.
 //
 // Protocol per cycle t: the core first calls Drain to collect load

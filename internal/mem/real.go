@@ -128,7 +128,7 @@ func NewReal(cfg Config) *Real {
 		l1BankUsed:  make([]bool, cfg.L1Banks),
 		icBankUsed:  make([]bool, cfg.IBanks),
 		l1m:         make([]mshrEntry, cfg.L1MSHRs),
-		icm:         make([]icMissEntry, 64),
+		icm:         make([]icMissEntry, MaxHWContexts),
 		wb:          make([]wbEntry, cfg.WBDepth),
 		l2m:         make([]l2MSHR, cfg.L2MSHRs),
 		l2Bank:      make([]int64, cfg.L2Banks),
@@ -743,7 +743,13 @@ func (m *Real) performL2Action(now int64, rq l2req) {
 	case l2VecLoad:
 		e := &m.vecm[rq.ctx]
 		for _, t := range e.targets {
-			m.noteVecLoadDone(t.tag, now, int32(now-t.acceptedAt)+1)
+			lat := now - t.acceptedAt + 1
+			m.st.FillLatSum += lat
+			m.st.FillLatCount++
+			if lat > m.st.FillLatMax {
+				m.st.FillLatMax = lat
+			}
+			m.noteVecLoadDone(t.tag, now, int32(lat))
 		}
 		e.valid = false
 		e.targets = e.targets[:0]

@@ -206,3 +206,63 @@ func TestRealDeterminism(t *testing.T) {
 		t.Errorf("memory system is nondeterministic: (%d,%d) vs (%d,%d)", h1, s1, h2, s2)
 	}
 }
+
+// TestDecoupledVectorFillRecordsFillLatency pins the fix for a stats
+// under-reporting bug: the l2VecLoad delivery arm completed vector
+// fills without recording FillLatSum/FillLatCount/FillLatMax, so
+// decoupled-mode fill-latency diagnostics silently covered only the
+// scalar l2FillL1 arm. Every delivered vector-load element must now
+// contribute one FillLat sample, with the same acceptance-to-delivery
+// latency the element's completion reports.
+func TestDecoupledVectorFillRecordsFillLatency(t *testing.T) {
+	m := decSystem()
+	got := map[uint64]int64{}
+	// 4 vector elements in one L2 line: one wide L2 access, 4 targets.
+	now := int64(0)
+	for e := 0; e < 4; e++ {
+		addr := uint64(0x90000 + e*8)
+		for !m.Access(now, Request{Tag: uint64(200 + e), Addr: addr, Vector: true}) {
+			m.Drain(now, func(c Completion) { got[c.Tag] = int64(c.Lat) })
+			m.Tick(now)
+			now++
+		}
+	}
+	drive(m, now, 300, got)
+	st := m.Stats()
+	if st.VecLoadCount != 4 {
+		t.Fatalf("vector load completions = %d, want 4", st.VecLoadCount)
+	}
+	if st.FillLatCount != st.VecLoadCount {
+		t.Errorf("FillLatCount = %d, want %d (one sample per delivered vector fill target)",
+			st.FillLatCount, st.VecLoadCount)
+	}
+	if st.FillLatSum != st.VecLoadLatSum {
+		t.Errorf("FillLatSum = %d, want %d (fill latency must match the delivered element latency)",
+			st.FillLatSum, st.VecLoadLatSum)
+	}
+	var max int64
+	for _, lat := range got {
+		if lat > max {
+			max = lat
+		}
+	}
+	if st.FillLatMax != max {
+		t.Errorf("FillLatMax = %d, want %d (slowest delivered element)", st.FillLatMax, max)
+	}
+}
+
+// TestIMissTableCoversMaxHWContexts pins the per-thread I-miss table's
+// size to the single-sourced hardware-context bound: FetchLine indexes
+// icm by thread id, so a table smaller than MaxHWContexts would panic
+// (and one hard-coded larger, as the old literal 64 was, silently
+// hides a bound mismatch).
+func TestIMissTableCoversMaxHWContexts(t *testing.T) {
+	m := convSystem()
+	if got := len(m.icm); got != MaxHWContexts {
+		t.Fatalf("icm table size = %d, want MaxHWContexts (%d)", got, MaxHWContexts)
+	}
+	// The highest legal thread id must be usable without panicking.
+	if r := m.FetchLine(0, MaxHWContexts-1, 0x1000); r != FetchMiss {
+		t.Fatalf("FetchLine(thread %d) = %v, want FetchMiss", MaxHWContexts-1, r)
+	}
+}

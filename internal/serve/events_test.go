@@ -17,7 +17,7 @@ import (
 func TestLaggingSubscriberDropped(t *testing.T) {
 	reg := metrics.New()
 	dropped := reg.Counter("mediasmt_sse_dropped_subscribers_total", "")
-	j := newJob("job-1", []string{"table1"}, exp.Options{}, dropped)
+	j := newJob("job-1", []string{"table1"}, exp.Options{}, 0, dropped)
 
 	_, ch, done := j.subscribe(1)
 	if done || ch == nil {

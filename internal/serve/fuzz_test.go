@@ -20,7 +20,7 @@ func FuzzDecodeJobRequest(f *testing.F) {
 	f.Add([]byte(`null`))
 	f.Add([]byte(``))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		ids, _, err := decodeJobRequest(bytes.NewReader(data))
+		ids, _, _, err := decodeJobRequest(bytes.NewReader(data))
 		if err != nil {
 			var re *requestError
 			if !errors.As(err, &re) {

@@ -24,12 +24,13 @@ const (
 // job is one submitted experiment run. The immutable fields are set at
 // submission; everything under mu is the lifecycle the handlers read.
 type job struct {
-	id      string
-	ids     []string // resolved experiment ids, paper order preserved
-	opts    exp.Options
-	created time.Time
-	cancel  context.CancelFunc
-	dropped *metrics.Counter // server-wide lagging-subscriber count; nil no-ops
+	id       string
+	ids      []string // resolved experiment ids, paper order preserved
+	opts     exp.Options
+	priority int
+	created  time.Time
+	cancel   context.CancelFunc
+	dropped  *metrics.Counter // server-wide lagging-subscriber count; nil no-ops
 
 	mu       sync.Mutex
 	status   string
@@ -46,11 +47,12 @@ type sseEvent struct {
 	data []byte
 }
 
-func newJob(id string, ids []string, opts exp.Options, dropped *metrics.Counter) *job {
+func newJob(id string, ids []string, opts exp.Options, priority int, dropped *metrics.Counter) *job {
 	return &job{
 		id:       id,
 		ids:      ids,
 		opts:     opts,
+		priority: priority,
 		created:  time.Now().UTC(),
 		dropped:  dropped,
 		status:   JobQueued,
@@ -168,6 +170,7 @@ type JobView struct {
 	Scale       float64   `json:"scale"`
 	Seed        uint64    `json:"seed"`
 	MaxCycles   int64     `json:"max_cycles,omitempty"`
+	Priority    int       `json:"priority,omitempty"`
 	Created     time.Time `json:"created"`
 	Error       string    `json:"error,omitempty"`
 	// Events is how many SSE events the job has published so far (a
@@ -199,6 +202,7 @@ func (j *job) view() JobView {
 		Scale:       j.opts.Scale,
 		Seed:        j.opts.Seed,
 		MaxCycles:   j.opts.MaxCycles,
+		Priority:    j.priority,
 		Created:     j.created,
 		Error:       j.errMsg,
 		Events:      len(j.history),

@@ -27,6 +27,10 @@ type JobRequest struct {
 	Seed        *uint64  `json:"seed"`
 	Workers     *int     `json:"workers"`
 	MaxCycles   *int64   `json:"max_cycles"`
+	// Priority orders this job's simulations against other jobs' when
+	// the executor supports priority scheduling (dist.Priority): higher
+	// runs first, equal classes stay FIFO. Omitted means 0.
+	Priority *int `json:"priority"`
 }
 
 // requestError is a validation failure the handler maps to a 400; any
@@ -43,47 +47,53 @@ func badRequest(format string, args ...any) error {
 // experiment id list and suite options for the job. Every rejection is
 // a *requestError: a client sending out-of-range parameters must see a
 // 400 naming the field, never a 500.
-func decodeJobRequest(body io.Reader) (ids []string, opts exp.Options, err error) {
+func decodeJobRequest(body io.Reader) (ids []string, opts exp.Options, prio int, err error) {
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	var req JobRequest
 	if err := dec.Decode(&req); err != nil {
-		return nil, exp.Options{}, badRequest("invalid JSON body: %v", err)
+		return nil, exp.Options{}, 0, badRequest("invalid JSON body: %v", err)
 	}
 	if dec.More() {
-		return nil, exp.Options{}, badRequest("invalid JSON body: trailing data after the request object")
+		return nil, exp.Options{}, 0, badRequest("invalid JSON body: trailing data after the request object")
 	}
 	ids, err = resolveExperimentIDs(req.Experiments)
 	if err != nil {
-		return nil, exp.Options{}, err
+		return nil, exp.Options{}, 0, err
 	}
 
 	opts = exp.Options{Scale: sim.DefaultScale, Seed: sim.DefaultSeed}
 	if req.Scale != nil {
 		if err := cliflags.Scale("scale", *req.Scale); err != nil {
-			return nil, exp.Options{}, badRequest("%v", err)
+			return nil, exp.Options{}, 0, badRequest("%v", err)
 		}
 		opts.Scale = *req.Scale
 	}
 	if req.Seed != nil {
 		if err := cliflags.Seed("seed", *req.Seed); err != nil {
-			return nil, exp.Options{}, badRequest("%v", err)
+			return nil, exp.Options{}, 0, badRequest("%v", err)
 		}
 		opts.Seed = *req.Seed
 	}
 	if req.Workers != nil {
 		if err := cliflags.Workers("workers", *req.Workers); err != nil {
-			return nil, exp.Options{}, badRequest("%v", err)
+			return nil, exp.Options{}, 0, badRequest("%v", err)
 		}
 		opts.Workers = *req.Workers
 	}
 	if req.MaxCycles != nil {
 		if err := cliflags.MaxCycles("max_cycles", *req.MaxCycles); err != nil {
-			return nil, exp.Options{}, badRequest("%v", err)
+			return nil, exp.Options{}, 0, badRequest("%v", err)
 		}
 		opts.MaxCycles = *req.MaxCycles
 	}
-	return ids, opts, nil
+	if req.Priority != nil {
+		if err := cliflags.Priority("priority", *req.Priority); err != nil {
+			return nil, exp.Options{}, 0, badRequest("%v", err)
+		}
+		prio = *req.Priority
+	}
+	return ids, opts, prio, nil
 }
 
 // decodeSimRequest parses and validates the worker endpoint's body:

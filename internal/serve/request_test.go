@@ -42,7 +42,7 @@ func TestDecodeJobRequestBounds(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			ids, opts, err := decodeJobRequest(strings.NewReader(c.body))
+			ids, opts, _, err := decodeJobRequest(strings.NewReader(c.body))
 			if c.wantErr == "" {
 				if err != nil {
 					t.Fatalf("rejected valid body: %v", err)
@@ -73,7 +73,7 @@ func TestDecodeJobRequestBounds(t *testing.T) {
 // get the exps flag defaults, an omitted experiment list expands to
 // every built-in in paper order.
 func TestDecodeDefaults(t *testing.T) {
-	ids, opts, err := decodeJobRequest(strings.NewReader(`{}`))
+	ids, opts, _, err := decodeJobRequest(strings.NewReader(`{}`))
 	if err != nil {
 		t.Fatal(err)
 	}

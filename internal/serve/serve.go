@@ -34,6 +34,11 @@
 //	GET  /v1/jobs/{id}/events    SSE progress: status, sim, experiment and
 //	                             done events; full history replays on
 //	                             (re)connect
+//	POST /v1/workers             register {"url":...} as a live worker;
+//	                             idempotent, so it doubles as the heartbeat
+//	                             workers repeat to stay registered
+//	GET  /v1/workers             the live registered-worker set
+//	DELETE /v1/workers           deregister {"url":...} (graceful shutdown)
 //	GET  /v1/metrics             process metrics from Config.Metrics;
 //	                             Prometheus text format by default,
 //	                             ?format=json for the stable JSON snapshot
@@ -62,6 +67,7 @@ import (
 	"sync/atomic"
 
 	"mediasmt/internal/cache"
+	"mediasmt/internal/cliflags"
 	"mediasmt/internal/dist"
 	"mediasmt/internal/exp"
 	"mediasmt/internal/metrics"
@@ -88,6 +94,18 @@ type Config struct {
 	// subscriber lagging this many events behind is dropped (it can
 	// reconnect and replay). 0 means DefaultEventBuffer.
 	EventBuffer int
+	// Journal, when non-nil, makes the job queue durable: every
+	// submission is journalled until it settles, and New re-admits the
+	// unsettled records — with their original ids, options and
+	// priorities — so a restarted daemon picks up where it was killed.
+	// Combined with the runner's cache, a recovered job re-executes
+	// only the configs the dead process had not finished.
+	Journal *Journal
+	// Members, when non-nil, enables worker self-registration: POST
+	// /v1/workers adds (or heartbeats) a worker URL, DELETE removes it,
+	// GET lists the live set. The caller wires the same registry into
+	// its dist.StealPool/HealthChecker so registration drives dispatch.
+	Members *dist.Members
 }
 
 // DefaultMaxJobs bounds the job store when Config.MaxJobs is zero.
@@ -106,6 +124,8 @@ type serveMetrics struct {
 	sims          *metrics.Counter
 	jobsSubmitted *metrics.Counter
 	jobsRejected  *metrics.Counter
+	jobsRecovered *metrics.Counter
+	journalErrs   *metrics.Counter
 	sseDropped    *metrics.Counter
 	sseSubs       *metrics.Gauge
 }
@@ -116,6 +136,8 @@ type Server struct {
 	maxJobs  int
 	eventBuf int
 	registry *metrics.Registry
+	journal  *Journal
+	members  *dist.Members
 	met      serveMetrics
 
 	baseCtx   context.Context
@@ -149,6 +171,8 @@ func New(cfg Config) *Server {
 		maxJobs:   cfg.MaxJobs,
 		eventBuf:  cfg.EventBuffer,
 		registry:  cfg.Metrics,
+		journal:   cfg.Journal,
+		members:   cfg.Members,
 		baseCtx:   ctx,
 		cancelAll: cancel,
 		jobs:      make(map[string]*job),
@@ -158,11 +182,67 @@ func New(cfg Config) *Server {
 			sims:          reg.Counter("mediasmt_sims_executed_total", "simulations executed successfully by the experiment engine"),
 			jobsSubmitted: reg.Counter("mediasmt_jobs_submitted_total", "jobs admitted into the store"),
 			jobsRejected:  reg.Counter("mediasmt_jobs_rejected_total", "submissions refused because the store was full of in-flight jobs"),
+			jobsRecovered: reg.Counter("mediasmt_jobs_recovered_total", "journalled jobs re-admitted after a restart"),
+			journalErrs:   reg.Counter("mediasmt_journal_errors_total", "job journal writes or removals that failed (durability degraded, service continues)"),
 			sseDropped:    reg.Counter("mediasmt_sse_dropped_subscribers_total", "SSE subscribers dropped for lagging past their event buffer"),
 			sseSubs:       reg.Gauge("mediasmt_sse_subscribers", "SSE subscribers currently connected"),
 		}
 	}
+	s.recoverJobs()
 	return s
+}
+
+// recoverJobs re-admits the journal's unsettled jobs — the cure for
+// restart amnesia. Each record restarts under its original id,
+// options and priority, so clients polling /v1/jobs/{id} across the
+// restart see the job finish rather than vanish; the runner's
+// read-through cache makes the re-run execute only what the dead
+// process had not already finished, converging on byte-identical
+// results. The sequence high-water mark is restored first so new
+// submissions never reuse a recovered id.
+func (s *Server) recoverJobs() {
+	if s.journal == nil {
+		return
+	}
+	recs, maxSeq, err := s.journal.Load()
+	if err != nil {
+		s.met.journalErrs.Inc()
+		return
+	}
+	s.seq = maxSeq
+	for _, rec := range recs {
+		ids, err := resolveExperimentIDs(rec.Experiments)
+		opts := exp.Options{Scale: rec.Scale, Seed: rec.Seed, Workers: rec.Workers, MaxCycles: rec.MaxCycles}
+		j := newJob(rec.ID, ids, opts, rec.Priority, s.met.sseDropped)
+		if !rec.Created.IsZero() {
+			j.created = rec.Created
+		}
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		j.cancel = cancel
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.met.jobsRecovered.Inc()
+		if err != nil {
+			// The experiment set changed across the restart (journalled
+			// under a different binary): settle the job explained instead
+			// of admitting ids the engine would reject less legibly.
+			go func() { defer cancel(); j.finish(nil, err); s.settleJournal(j.id) }()
+			continue
+		}
+		go s.runJob(ctx, j)
+	}
+}
+
+// settleJournal removes a settled job's journal record; failures are
+// advisory (the worst case is one re-run after the next restart, and
+// the cache makes that re-run cheap) but counted.
+func (s *Server) settleJournal(id string) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Settle(id); err != nil {
+		s.met.journalErrs.Inc()
+	}
 }
 
 // Close cancels every in-flight job (their simulations not yet started
@@ -178,6 +258,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /v1/workers", s.handleWorkerRegister)
+	mux.HandleFunc("GET /v1/workers", s.handleWorkerList)
+	mux.HandleFunc("DELETE /v1/workers", s.handleWorkerDeregister)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/healthz", s.handleStatusView)
 	mux.HandleFunc("GET /v1/fingerprint", s.handleStatusView)
@@ -264,7 +347,7 @@ func (s *Server) handleSimExecute(w http.ResponseWriter, r *http.Request) {
 // handleSubmit validates the submission, admits it into the bounded
 // store and starts it on the shared runner.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	ids, opts, err := decodeJobRequest(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	ids, opts, prio, err := decodeJobRequest(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	if err != nil {
 		var reqErr *requestError
 		if errors.As(err, &reqErr) {
@@ -284,13 +367,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.seq++
-	j := newJob(fmt.Sprintf("job-%d", s.seq), ids, opts, s.met.sseDropped)
+	seq := s.seq
+	j := newJob(fmt.Sprintf("job-%d", seq), ids, opts, prio, s.met.sseDropped)
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j.cancel = cancel
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()
 	s.met.jobsSubmitted.Inc()
+
+	// Journal before starting: once the 202 is out, a crash must not
+	// forget the job. A failed append degrades durability for this job
+	// only — the submission still runs.
+	if s.journal != nil {
+		rec := JobRecord{
+			ID: j.id, Seq: seq, Experiments: ids,
+			Scale: opts.Scale, Seed: opts.Seed, Workers: opts.Workers, MaxCycles: opts.MaxCycles,
+			Priority: prio, Created: j.created, Fingerprint: cache.Fingerprint(),
+		}
+		if err := s.journal.Append(rec); err != nil {
+			s.met.journalErrs.Inc()
+		}
+	}
 
 	go s.runJob(ctx, j)
 
@@ -327,12 +425,17 @@ func (s *Server) evictLocked() bool {
 // into the job's event history.
 func (s *Server) runJob(ctx context.Context, j *job) {
 	defer j.cancel()
+	// The job's class rides the context into the executor: when the
+	// runner sits on a dist.Priority, contended slots admit higher
+	// classes first, FIFO within a class.
+	ctx = dist.WithPriority(ctx, j.priority)
 	j.setRunning()
 	suite, err := s.runner.NewSuite(j.opts)
 	if err != nil {
 		// Unreachable through the decoder (it never sets Options.Cache),
 		// but a misconfigured embedder still gets a settled, explained job.
 		j.finish(nil, err)
+		s.settleJournal(j.id)
 		return
 	}
 	prog := exp.Progress{
@@ -352,6 +455,10 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	}
 	rs, err := suite.RunExperimentsContext(ctx, j.ids, prog)
 	j.finish(rs, err)
+	// Settled (results flushed to the cache inside the suite): the
+	// journal record has done its job and must go, or a restart would
+	// re-admit finished work.
+	s.settleJournal(j.id)
 }
 
 // lookup resolves the {id} path segment.
@@ -508,6 +615,86 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// WorkerRequest is the POST and DELETE /v1/workers body: one worker
+// expsd base URL.
+type WorkerRequest struct {
+	URL string `json:"url"`
+}
+
+// WorkersView is the /v1/workers response: the live worker set,
+// sorted, as dispatch sees it.
+type WorkersView struct {
+	Workers []string `json:"workers"`
+	// Changed reports whether this request changed the set: false on a
+	// heartbeat re-registration or a deregistration of an unknown URL.
+	Changed bool `json:"changed,omitempty"`
+}
+
+// requireMembers gates the worker-registration routes on Config.Members.
+func (s *Server) requireMembers(w http.ResponseWriter) bool {
+	if s.members == nil {
+		writeError(w, http.StatusNotFound, ErrNotFound,
+			"worker registration is not enabled on this daemon")
+		return false
+	}
+	return true
+}
+
+// decodeWorkerRequest parses and validates a registration body.
+func decodeWorkerRequest(w http.ResponseWriter, r *http.Request) (string, bool) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	var req WorkerRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, ErrBadRequest, "invalid JSON body: %v", err)
+		return "", false
+	}
+	u, err := cliflags.WorkerURL("url", req.URL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrBadRequest, "%v", err)
+		return "", false
+	}
+	return u, true
+}
+
+// handleWorkerRegister adds a worker to the live set — or refreshes
+// it, since registration doubles as the heartbeat workers repeat on
+// -register-interval. Idempotent by design: re-registering after a
+// health-check eviction brings a recovered worker back.
+func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMembers(w) {
+		return
+	}
+	u, ok := decodeWorkerRequest(w, r)
+	if !ok {
+		return
+	}
+	changed := s.members.Add(u)
+	writeJSON(w, http.StatusOK, WorkersView{Workers: s.members.Snapshot(), Changed: changed})
+}
+
+// handleWorkerDeregister removes a worker (graceful shutdown); an
+// unknown URL is a no-op, not an error — the health checker may have
+// evicted it first.
+func (s *Server) handleWorkerDeregister(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMembers(w) {
+		return
+	}
+	u, ok := decodeWorkerRequest(w, r)
+	if !ok {
+		return
+	}
+	changed := s.members.Remove(u)
+	writeJSON(w, http.StatusOK, WorkersView{Workers: s.members.Snapshot(), Changed: changed})
+}
+
+func (s *Server) handleWorkerList(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMembers(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, WorkersView{Workers: s.members.Snapshot()})
+}
+
 // CacheStatsView is the status payload's process-lifetime cache
 // bookkeeping (what exps' stderr summary prints per run).
 type CacheStatsView struct {
@@ -534,6 +721,9 @@ type StatusView struct {
 	SimsExecuted int64 `json:"sims_executed"`
 	// Jobs is how many jobs the bounded store currently retains.
 	Jobs int `json:"jobs"`
+	// Peers is the live registered-worker set (present only when
+	// worker registration is enabled).
+	Peers []string `json:"peers,omitempty"`
 }
 
 // statusView snapshots the server for the health/fingerprint routes.
@@ -548,6 +738,9 @@ func (s *Server) statusView() StatusView {
 		Experiments:  exp.IDs(),
 		SimsExecuted: s.simsExecuted.Load(),
 		Jobs:         retained,
+	}
+	if s.members != nil {
+		v.Peers = s.members.Snapshot()
 	}
 	if c := s.runner.Cache(); c != nil {
 		v.Cache = true

@@ -14,12 +14,14 @@ import (
 // itself, and simulation-engine restructurings even when they are
 // proven result-identical (v2: the event-driven engine replaced the
 // tick loop; results are equivalence-tested against the reference, but
-// stale entries must not outlive the proof's scope). Documentation-
+// stale entries must not outlive the proof's scope; v3: decoupled-mode
+// vector fills now record FillLatSum/FillLatCount/FillLatMax, so
+// Result.Mem changes for every decoupled config). Documentation-
 // only or performance-only changes that cannot touch results (and
 // leave the run loop's observable schedule intact) do not bump it. The
 // on-disk cache folds it into its entry fingerprint (see
 // internal/cache.Fingerprint).
-const Version = "mediasmt-sim-v2"
+const Version = "mediasmt-sim-v3"
 
 // EncodeResult renders r as stable JSON: encoding/json emits struct
 // fields in declaration order, so the same Result always serializes to
