@@ -145,6 +145,7 @@ func BenchmarkSuitePrefetch(b *testing.B) {
 // (simulated instructions per wall second) for profiling the simulator
 // itself.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	var insts, cycles int64
 	for i := 0; i < b.N; i++ {
 		r, err := sim.Run(sim.Config{
@@ -167,6 +168,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // ever collapses toward 1×, NextWakeup has stopped finding skippable
 // spans.
 func BenchmarkSimulatorThroughputReference(b *testing.B) {
+	b.ReportAllocs()
 	var insts, cycles int64
 	for i := 0; i < b.N; i++ {
 		r, err := sim.RunReference(sim.Config{

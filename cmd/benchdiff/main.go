@@ -12,8 +12,22 @@
 // its own failure (exit 2) so a renamed benchmark cannot silently
 // disable the gate.
 //
-// Exit codes: 0 metrics within bounds, 1 regression beyond -max-regress,
-// 2 usage error or a watched benchmark/metric absent from an input.
+// A stream may carry several runs of the same benchmark (go test
+// -count=N); benchdiff compares best runs — max for higher-is-better
+// metrics, min for lower-is-better — because the best run is the one
+// least distorted by scheduler noise and thermal throttling on shared
+// CI machines.
+//
+// -lower-metric (default allocs/op) adds a second, lower-is-better
+// gate that fails when the metric grows beyond -max-increase. This
+// gate fails open when the BASELINE lacks the metric — older baselines
+// predate b.ReportAllocs(), and the gate arms itself automatically on
+// the next baseline refresh — but a baseline that has it pins it: the
+// current run missing it then is an error, exit 2.
+//
+// Exit codes: 0 metrics within bounds, 1 regression beyond a bound,
+// 2 usage error or a gated benchmark/metric absent from an input
+// (except the fail-open baseline case above).
 package main
 
 import (
@@ -34,10 +48,11 @@ type testEvent struct {
 	Output string
 }
 
-// benchResults maps "BenchmarkName/sub" -> metric unit -> value. The
-// -8 style GOMAXPROCS suffix is stripped from names so baselines taken
-// on machines with different core counts still line up.
-type benchResults map[string]map[string]float64
+// benchResults maps "BenchmarkName/sub" -> one metric map per run
+// (go test -count=N emits N result lines per benchmark). The -8 style
+// GOMAXPROCS suffix is stripped from names so baselines taken on
+// machines with different core counts still line up.
+type benchResults map[string][]map[string]float64
 
 // parseFile extracts benchmark metrics from a test2json stream file.
 func parseFile(path string) (benchResults, error) {
@@ -75,7 +90,7 @@ func parseFile(path string) (benchResults, error) {
 		if !ok {
 			continue
 		}
-		out[name] = metrics
+		out[name] = append(out[name], metrics)
 	}
 	return out, nil
 }
@@ -114,19 +129,33 @@ func parseBenchLine(line string) (string, map[string]float64, bool) {
 	return name, metrics, true
 }
 
-func lookup(r benchResults, path, bench, metric string) (float64, error) {
-	m, ok := r[bench]
+// lookup returns the benchmark's best value for the metric across all
+// runs in the stream: max when higher is better, min when lower is.
+func lookup(r benchResults, path, bench, metric string, lowerIsBetter bool) (float64, error) {
+	runs, ok := r[bench]
 	if !ok {
 		return 0, fmt.Errorf("%s: benchmark %s not found", path, bench)
 	}
-	v, ok := m[metric]
-	if !ok {
+	var best float64
+	found := false
+	for _, m := range runs {
+		v, ok := m[metric]
+		if !ok {
+			continue
+		}
+		if !found || (lowerIsBetter && v < best) || (!lowerIsBetter && v > best) {
+			best, found = v, true
+		}
+	}
+	if !found {
 		return 0, fmt.Errorf("%s: benchmark %s has no %s metric", path, bench, metric)
 	}
-	if v <= 0 {
-		return 0, fmt.Errorf("%s: benchmark %s reports non-positive %s (%g)", path, bench, metric, v)
+	// A higher-is-better rate of zero means the benchmark did no work;
+	// a lower-is-better count of zero (0 allocs/op) is a perfect score.
+	if best < 0 || (best == 0 && !lowerIsBetter) {
+		return 0, fmt.Errorf("%s: benchmark %s reports non-positive %s (%g)", path, bench, metric, best)
 	}
-	return v, nil
+	return best, nil
 }
 
 func main() {
@@ -135,9 +164,15 @@ func main() {
 	benches := flag.String("bench", "BenchmarkSimulatorThroughput", "comma-separated benchmark names to gate (GOMAXPROCS suffix excluded)")
 	metric := flag.String("metric", "siminsts/s", "higher-is-better metric to compare")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated fractional drop vs baseline (0.25 = 25%)")
+	lowerMetric := flag.String("lower-metric", "allocs/op", "lower-is-better metric to also gate; fails open when the baseline lacks it ('' disables)")
+	maxIncrease := flag.Float64("max-increase", 0.10, "maximum tolerated fractional growth of -lower-metric vs baseline (0.10 = 10%)")
 	flag.Parse()
 	if *maxRegress < 0 || *maxRegress >= 1 {
 		fmt.Fprintf(os.Stderr, "benchdiff: -max-regress %g out of range [0, 1)\n", *maxRegress)
+		os.Exit(2)
+	}
+	if *maxIncrease < 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: -max-increase %g must be >= 0\n", *maxIncrease)
 		os.Exit(2)
 	}
 
@@ -147,7 +182,8 @@ func main() {
 		var cur benchResults
 		cur, err = parseFile(*currentPath)
 		if err == nil {
-			regressed, err = diff(os.Stdout, base, cur, *baselinePath, *currentPath, *benches, *metric, *maxRegress)
+			regressed, err = diff(os.Stdout, base, cur, *baselinePath, *currentPath,
+				gate{*benches, *metric, *maxRegress, *lowerMetric, *maxIncrease})
 		}
 	}
 	if err != nil {
@@ -159,31 +195,75 @@ func main() {
 	}
 }
 
-// diff compares each watched benchmark's metric and reports whether
-// any fell below baseline by more than maxRegress.
-func diff(w io.Writer, base, cur benchResults, basePath, curPath, benches, metric string, maxRegress float64) (bool, error) {
+// gate is what one benchdiff invocation enforces: a higher-is-better
+// metric with a maximum drop, and an optional lower-is-better metric
+// with a maximum growth.
+type gate struct {
+	benches     string
+	metric      string
+	maxRegress  float64
+	lowerMetric string // "" disables the second gate
+	maxIncrease float64
+}
+
+// diff compares each watched benchmark's metrics (best run against
+// best run) and reports whether any moved beyond its bound.
+func diff(w io.Writer, base, cur benchResults, basePath, curPath string, g gate) (bool, error) {
 	regressed := false
-	for _, bench := range strings.Split(benches, ",") {
+	for _, bench := range strings.Split(g.benches, ",") {
 		bench = strings.TrimSpace(bench)
 		if bench == "" {
 			continue
 		}
-		b, err := lookup(base, basePath, bench, metric)
+		b, err := lookup(base, basePath, bench, g.metric, false)
 		if err != nil {
 			return false, err
 		}
-		c, err := lookup(cur, curPath, bench, metric)
+		c, err := lookup(cur, curPath, bench, g.metric, false)
 		if err != nil {
 			return false, err
 		}
 		change := c/b - 1
 		status := "ok"
-		if change < -maxRegress {
-			status = fmt.Sprintf("REGRESSION beyond -%.0f%% bound", maxRegress*100)
+		if change < -g.maxRegress {
+			status = fmt.Sprintf("REGRESSION beyond -%.0f%% bound", g.maxRegress*100)
 			regressed = true
 		}
 		fmt.Fprintf(w, "%s %s: baseline %.6g, current %.6g (%+.1f%%) — %s\n",
-			bench, metric, b, c, change*100, status)
+			bench, g.metric, b, c, change*100, status)
+
+		if g.lowerMetric == "" {
+			continue
+		}
+		lb, err := lookup(base, basePath, bench, g.lowerMetric, true)
+		if err != nil {
+			// Fail open: the baseline predates this metric. The note keeps
+			// the skip visible in CI logs, and the gate arms itself on the
+			// next baseline refresh.
+			fmt.Fprintf(w, "%s %s: baseline lacks the metric — gate skipped until the baseline is refreshed\n",
+				bench, g.lowerMetric)
+			continue
+		}
+		// A baseline that has the metric pins it: fail closed from here.
+		lc, err := lookup(cur, curPath, bench, g.lowerMetric, true)
+		if err != nil {
+			return false, err
+		}
+		var growth float64
+		switch {
+		case lb > 0:
+			growth = lc/lb - 1
+		case lc > 0:
+			// From zero to nonzero: infinitely worse, but render finitely.
+			growth = 1
+		}
+		status = "ok"
+		if growth > g.maxIncrease {
+			status = fmt.Sprintf("REGRESSION beyond +%.0f%% bound", g.maxIncrease*100)
+			regressed = true
+		}
+		fmt.Fprintf(w, "%s %s: baseline %.6g, current %.6g (%+.1f%%) — %s\n",
+			bench, g.lowerMetric, lb, lc, growth*100, status)
 	}
 	return regressed, nil
 }

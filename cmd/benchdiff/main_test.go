@@ -73,7 +73,7 @@ func TestParseFileAndDiff(t *testing.T) {
 			t.Fatal(err)
 		}
 		regressed, err := diff(io.Discard, base, cur, basePath, curPath,
-			"BenchmarkSimulatorThroughput", "siminsts/s", 0.25)
+			gate{"BenchmarkSimulatorThroughput", "siminsts/s", 0.25, "", 0})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,6 +87,133 @@ func TestParseFileAndDiff(t *testing.T) {
 	check(`BenchmarkSimulatorThroughput-4 \t 1 \t 1 ns/op \t 700000 siminsts/s`, true)
 }
 
+// TestMultiRunBestValue pins the -count=N contract: the gate compares
+// best runs (max for higher-is-better, min for lower-is-better), so
+// one noisy run among three cannot fail a healthy change.
+func TestMultiRunBestValue(t *testing.T) {
+	basePath := writeStream(t,
+		event(`BenchmarkSimulatorThroughput-8 \t 1 \t 1 ns/op \t 1000000 siminsts/s \t 9000 allocs/op`),
+	)
+	base, err := parseFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two throttled runs and one healthy run; allocs noisy upward twice.
+	curPath := writeStream(t,
+		event(`BenchmarkSimulatorThroughput-8 \t 1 \t 1 ns/op \t 600000 siminsts/s \t 9900 allocs/op`),
+		event(`BenchmarkSimulatorThroughput-8 \t 1 \t 1 ns/op \t 1100000 siminsts/s \t 9100 allocs/op`),
+		event(`BenchmarkSimulatorThroughput-8 \t 1 \t 1 ns/op \t 650000 siminsts/s \t 10000 allocs/op`),
+	)
+	cur, err := parseFile(curPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cur["BenchmarkSimulatorThroughput"]; len(got) != 3 {
+		t.Fatalf("parsed %d runs, want 3", len(got))
+	}
+	v, err := lookup(cur, curPath, "BenchmarkSimulatorThroughput", "siminsts/s", false)
+	if err != nil || v != 1100000 {
+		t.Errorf("best siminsts/s = %g, %v; want max 1100000", v, err)
+	}
+	v, err = lookup(cur, curPath, "BenchmarkSimulatorThroughput", "allocs/op", true)
+	if err != nil || v != 9100 {
+		t.Errorf("best allocs/op = %g, %v; want min 9100", v, err)
+	}
+	regressed, err := diff(io.Discard, base, cur, basePath, curPath,
+		gate{"BenchmarkSimulatorThroughput", "siminsts/s", 0.25, "allocs/op", 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Error("best runs are within both bounds, but diff reported a regression")
+	}
+}
+
+// TestLowerMetricGate covers the allocs/op gate proper: growth beyond
+// -max-increase fails, shrinkage and zero baselines behave.
+func TestLowerMetricGate(t *testing.T) {
+	g := gate{"BenchmarkSimulatorThroughput", "siminsts/s", 0.25, "allocs/op", 0.10}
+	run := func(baseLine, curLine string) (bool, error) {
+		t.Helper()
+		basePath := writeStream(t, event(baseLine))
+		base, err := parseFile(basePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curPath := writeStream(t, event(curLine))
+		cur, err := parseFile(curPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return diff(io.Discard, base, cur, basePath, curPath, g)
+	}
+
+	// +20% allocs with healthy throughput: regression.
+	regressed, err := run(
+		`BenchmarkSimulatorThroughput-8 \t 1 \t 1 ns/op \t 1000000 siminsts/s \t 1000 allocs/op`,
+		`BenchmarkSimulatorThroughput-8 \t 1 \t 1 ns/op \t 1000000 siminsts/s \t 1200 allocs/op`)
+	if err != nil || !regressed {
+		t.Errorf("+20%% allocs: regressed=%v err=%v, want regression", regressed, err)
+	}
+	// Fewer allocs: fine.
+	regressed, err = run(
+		`BenchmarkSimulatorThroughput-8 \t 1 \t 1 ns/op \t 1000000 siminsts/s \t 1000 allocs/op`,
+		`BenchmarkSimulatorThroughput-8 \t 1 \t 1 ns/op \t 1000000 siminsts/s \t 800 allocs/op`)
+	if err != nil || regressed {
+		t.Errorf("-20%% allocs: regressed=%v err=%v, want pass", regressed, err)
+	}
+	// Zero-alloc baseline stays zero: fine; becomes nonzero: regression.
+	regressed, err = run(
+		`BenchmarkSimulatorThroughput-8 \t 1 \t 1 ns/op \t 1000000 siminsts/s \t 0 allocs/op`,
+		`BenchmarkSimulatorThroughput-8 \t 1 \t 1 ns/op \t 1000000 siminsts/s \t 0 allocs/op`)
+	if err != nil || regressed {
+		t.Errorf("0->0 allocs: regressed=%v err=%v, want pass", regressed, err)
+	}
+	regressed, err = run(
+		`BenchmarkSimulatorThroughput-8 \t 1 \t 1 ns/op \t 1000000 siminsts/s \t 0 allocs/op`,
+		`BenchmarkSimulatorThroughput-8 \t 1 \t 1 ns/op \t 1000000 siminsts/s \t 5 allocs/op`)
+	if err != nil || !regressed {
+		t.Errorf("0->5 allocs: regressed=%v err=%v, want regression", regressed, err)
+	}
+	// Current run missing a metric the baseline has: fail closed.
+	if _, err = run(
+		`BenchmarkSimulatorThroughput-8 \t 1 \t 1 ns/op \t 1000000 siminsts/s \t 1000 allocs/op`,
+		`BenchmarkSimulatorThroughput-8 \t 1 \t 1 ns/op \t 1000000 siminsts/s`); err == nil {
+		t.Error("current missing allocs/op the baseline has did not error")
+	}
+}
+
+// TestLowerMetricFailsOpen pins the fail-open contract: a baseline
+// without the lower-is-better metric (it predates b.ReportAllocs())
+// skips that gate with a note instead of erroring, and the skip is
+// visible in the output.
+func TestLowerMetricFailsOpen(t *testing.T) {
+	basePath := writeStream(t,
+		event(`BenchmarkSimulatorThroughput-8 \t 1 \t 1 ns/op \t 1000000 siminsts/s`))
+	base, err := parseFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curPath := writeStream(t,
+		event(`BenchmarkSimulatorThroughput-8 \t 1 \t 1 ns/op \t 1000000 siminsts/s \t 99999 allocs/op`))
+	cur, err := parseFile(curPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	regressed, err := diff(&out, base, cur, basePath, curPath,
+		gate{"BenchmarkSimulatorThroughput", "siminsts/s", 0.25, "allocs/op", 0.10})
+	if err != nil {
+		t.Fatalf("fail-open case errored: %v", err)
+	}
+	if regressed {
+		t.Error("fail-open case reported a regression")
+	}
+	if !strings.Contains(out.String(), "gate skipped") {
+		t.Errorf("skip note missing from output:\n%s", out.String())
+	}
+}
+
 // TestDiffMissingBenchmarkErrors pins the fail-closed contract: a
 // watched benchmark absent from an input is an error, not a pass, so a
 // rename cannot silently disable the gate.
@@ -96,10 +223,10 @@ func TestDiffMissingBenchmarkErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := diff(io.Discard, r, r, path, path, "BenchmarkSimulatorThroughput", "siminsts/s", 0.25); err == nil {
+	if _, err := diff(io.Discard, r, r, path, path, gate{"BenchmarkSimulatorThroughput", "siminsts/s", 0.25, "", 0}); err == nil {
 		t.Error("missing watched benchmark did not error")
 	}
-	if _, err := diff(io.Discard, r, r, path, path, "BenchmarkOther", "simcycles/s", 0.25); err == nil {
+	if _, err := diff(io.Discard, r, r, path, path, gate{"BenchmarkOther", "simcycles/s", 0.25, "", 0}); err == nil {
 		t.Error("missing watched metric did not error")
 	}
 }
@@ -115,7 +242,7 @@ func TestBaselineFileParses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := lookup(r, path, "BenchmarkSimulatorThroughput", "siminsts/s"); err != nil {
+	if _, err := lookup(r, path, "BenchmarkSimulatorThroughput", "siminsts/s", false); err != nil {
 		t.Error(err)
 	}
 }

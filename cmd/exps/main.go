@@ -5,7 +5,12 @@
 //	exps [-run table3,fig4,...|all] [-scale 1.0] [-seed 12345]
 //	     [-j N] [-max-cycles N] [-json|-csv] [-v] [-remote URL[,URL...]]
 //	     [-cache-dir DIR] [-no-cache] [-cache-prune] [-fingerprint]
-//	     [-metrics]
+//	     [-metrics] [-cpuprofile FILE] [-memprofile FILE]
+//
+// -cpuprofile and -memprofile write runtime/pprof profiles covering
+// the experiment run (same formats as `go test`); inspect them with
+// `go tool pprof exps FILE`. Profile against a cold cache (-no-cache
+// or a fresh -cache-dir) — a warm run executes no simulations.
 //
 // Every simulation the requested experiments need is deduplicated and
 // fanned out over -j workers (default GOMAXPROCS) before the artifacts
@@ -62,6 +67,7 @@ import (
 	"mediasmt/internal/exp"
 	"mediasmt/internal/metrics"
 	"mediasmt/internal/obs"
+	"mediasmt/internal/prof"
 )
 
 func main() {
@@ -80,6 +86,8 @@ func main() {
 	cachePrune := flag.Bool("cache-prune", false, "drop all cache entries except the current fingerprint's, then exit")
 	fingerprint := flag.Bool("fingerprint", false, "print the cache fingerprint (cache format + simulator version), then exit")
 	metricsOut := flag.Bool("metrics", false, "instrument the run (pipeline sampling included) and dump the metrics snapshot as JSON to stderr after the summary")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memProfile := flag.String("memprofile", "", "write a post-run heap profile to this file")
 	flag.Parse()
 
 	if *fingerprint {
@@ -202,7 +210,17 @@ func main() {
 		stop()
 	}()
 
+	// The profile window covers exactly the experiment run: the setup
+	// above and the rendering below would only dilute the samples.
+	stopProf, perr := prof.Start(*cpuProfile, *memProfile)
+	if perr != nil {
+		fmt.Fprintf(os.Stderr, "exps: %v\n", perr)
+		os.Exit(2)
+	}
 	rs, err := suite.RunExperimentsContext(ctx, ids, prog)
+	if perr := stopProf(); perr != nil {
+		fmt.Fprintf(os.Stderr, "exps: %v\n", perr)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "exps: %v\n", err)
 	}

@@ -9,7 +9,13 @@
 //	      [-register URL] [-advertise URL] [-register-interval D]
 //	      [-peer-timeout D] [-peer-health-interval D]
 //	      [-cache-dir DIR] [-no-cache] [-jobs-dir DIR] [-no-journal]
-//	      [-fingerprint]
+//	      [-fingerprint] [-pprof]
+//
+// -pprof additionally serves the standard net/http/pprof endpoints
+// under /debug/pprof/ (CPU: /debug/pprof/profile?seconds=30, heap:
+// /debug/pprof/heap), letting `go tool pprof` sample a live daemon
+// mid-workload. Off by default: profiling endpoints reveal internals
+// and cost CPU, so they are an explicit operator opt-in.
 //
 // All jobs share one worker pool (-j bounds simulations in flight
 // across every job, default GOMAXPROCS) and one on-disk result cache
@@ -71,6 +77,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -101,6 +108,7 @@ func main() {
 	jobsDir := flag.String("jobs-dir", "", "durable job journal directory (default <cache-dir>/jobs)")
 	noJournal := flag.Bool("no-journal", false, "disable the durable job journal (submissions are forgotten on restart)")
 	fingerprint := flag.Bool("fingerprint", false, "print the cache fingerprint (cache format + simulator version), then exit")
+	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
 	flag.Parse()
 
 	if *fingerprint {
@@ -185,7 +193,21 @@ func main() {
 	health.Start()
 
 	srv := serve.New(serve.Config{Runner: runner, MaxJobs: *maxJobs, Metrics: reg, Journal: journal, Members: members})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofFlag {
+		// Mount the net/http/pprof endpoints next to the API without
+		// importing them into the serve package: profiling is an operator
+		// opt-in on this daemon, never part of the served API surface.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

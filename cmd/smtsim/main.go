@@ -7,6 +7,12 @@
 //	smtsim [-isa mmx|mom] [-threads N] [-policy rr|ic|oc|bl]
 //	       [-mem ideal|conventional|decoupled] [-scale F] [-seed N]
 //	       [-cache-dir DIR] [-no-cache]
+//	       [-cpuprofile FILE] [-memprofile FILE]
+//
+// -cpuprofile and -memprofile write runtime/pprof profiles covering
+// the simulation (same formats as `go test`); inspect them with
+// `go tool pprof smtsim FILE`. Combine with -no-cache, or a cache hit
+// will profile nothing but the cache read.
 //
 // Results persist in the same on-disk cache cmd/exps uses (default
 // $XDG_CACHE_HOME/mediasmt): re-running an already-simulated
@@ -21,6 +27,7 @@ import (
 
 	"mediasmt/internal/cache"
 	"mediasmt/internal/mem"
+	"mediasmt/internal/prof"
 	"mediasmt/internal/sim"
 )
 
@@ -33,6 +40,8 @@ func main() {
 	seed := flag.Uint64("seed", 12345, "simulation seed")
 	cacheDir := flag.String("cache-dir", cache.DefaultDir(), "on-disk result cache directory ('' disables)")
 	noCache := flag.Bool("no-cache", false, "disable the on-disk result cache")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+	memProfile := flag.String("memprofile", "", "write a post-run heap profile to this file")
 	flag.Parse()
 
 	cfg, err := buildConfig(*isaFlag, *policy, *memFlag, *threads, *scale, *seed)
@@ -55,8 +64,20 @@ func main() {
 	}
 	if cached {
 		fmt.Fprintf(os.Stderr, "smtsim: result from cache (%s)\n", store.Dir())
+		if *cpuProfile != "" || *memProfile != "" {
+			fmt.Fprintln(os.Stderr, "smtsim: cache hit, no simulation to profile; re-run with -no-cache")
+		}
 	} else {
-		if r, err = sim.Run(cfg); err != nil {
+		stopProf, err := prof.Start(*cpuProfile, *memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smtsim: %v\n", err)
+			os.Exit(2)
+		}
+		r, err = sim.Run(cfg)
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintf(os.Stderr, "smtsim: %v\n", perr)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "smtsim: %v\n", err)
 			os.Exit(1)
 		}

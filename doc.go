@@ -84,6 +84,15 @@
 // simulation's own failure is never retried — it partitions onto its
 // experiments exactly like a local failure.
 //
+// Performance is profiled and gated, not guessed: smtsim and exps
+// take -cpuprofile/-memprofile (runtime/pprof, same formats as
+// `go test`; the window covers the run, so profile with the cache
+// off), expsd serves net/http/pprof under /debug/pprof/ behind its
+// -pprof flag, per-stage microbenchmarks live next to internal/core
+// and internal/mem, and CI diffs BenchmarkSimulatorThroughput's
+// siminsts/s and allocs/op against a committed baseline with
+// cmd/benchdiff. See README.md "Profiling & performance".
+//
 // The invariants above are enforced at lint time where possible:
 // cmd/mediavet (internal/analysis) is a custom analyzer suite run by
 // CI through `go vet -vettool` — simulator code must be deterministic

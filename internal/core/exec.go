@@ -6,19 +6,29 @@ import (
 )
 
 // drainMemory collects finished load elements from the memory system
-// and completes loads whose last element arrived.
+// and completes loads whose last element arrived. The callback is the
+// pre-bound drainFn (allocating a closure here would cost one heap
+// allocation per executed cycle); drainNow carries the cycle.
 func (p *Processor) drainMemory(now int64) {
-	p.memsys.Drain(now, func(c mem.Completion) {
-		u, ok := p.loadsByTag[c.Tag]
-		if !ok {
-			return
-		}
-		u.elemsDone++
-		if u.elemsDone == u.elemsTotal {
-			delete(p.loadsByTag, c.Tag)
-			p.complete(u, now)
-		}
-	})
+	p.drainNow = now
+	p.memsys.Drain(now, p.drainFn)
+}
+
+// onLoadCompletion is the Drain callback: it routes one finished load
+// element to its uop by slot index and completes the load when its last
+// element arrived.
+func (p *Processor) onLoadCompletion(c mem.Completion) {
+	u := p.loadSlots[c.Tag]
+	if u == nil {
+		return
+	}
+	u.elemsDone++
+	if u.elemsDone == u.elemsTotal {
+		p.loadSlots[c.Tag] = nil
+		p.freeSlots = append(p.freeSlots, u.memTag)
+		u.memTag = -1
+		p.complete(u, p.drainNow)
+	}
 }
 
 // writeback completes scheduled operations whose results are ready.
@@ -117,20 +127,16 @@ func (p *Processor) noteIssued(u *uop) {
 	p.readyCount[u.qid]--
 }
 
-func compactQueue(q []*uop) []*uop {
-	// Read-only scan first: compacting an unchanged queue rewrites
-	// every pointer through the GC write barrier for nothing.
-	i := 0
-	for ; i < len(q); i++ {
-		if q[i].issued {
-			break
-		}
-	}
-	if i == len(q) {
+// compactQueue removes issued entries from q. first is the index of
+// the oldest issued entry (-1 if none issued): the issue loop already
+// knows it, and starting there skips rescanning the unissued prefix —
+// rewriting unchanged pointers would also cost a GC write barrier each.
+func compactQueue(q []*uop, first int) []*uop {
+	if first < 0 {
 		return q
 	}
-	w := i
-	for ; i < len(q); i++ {
+	w := first
+	for i := first; i < len(q); i++ {
 		if !q[i].issued {
 			q[w] = q[i]
 			w++
@@ -140,8 +146,8 @@ func compactQueue(q []*uop) []*uop {
 }
 
 func (p *Processor) issueInt(now int64) {
-	alus, muls, issued := 0, 0, 0
-	for _, u := range p.qInt {
+	alus, muls, issued, first := 0, 0, 0, -1
+	for qi, u := range p.qInt {
 		if issued >= p.cfg.IssueInt {
 			break
 		}
@@ -165,13 +171,16 @@ func (p *Processor) issueInt(now int64) {
 		p.inflight = append(p.inflight, u)
 		issued++
 		p.intIssuedNow++
+		if first < 0 {
+			first = qi
+		}
 	}
-	p.qInt = compactQueue(p.qInt)
+	p.qInt = compactQueue(p.qInt, first)
 }
 
 func (p *Processor) issueFP(now int64) {
-	adds, mulsUsed, issued := 0, 0, 0
-	for _, u := range p.qFP {
+	adds, mulsUsed, issued, first := 0, 0, 0, -1
+	for qi, u := range p.qFP {
 		if issued >= p.cfg.IssueFP {
 			break
 		}
@@ -207,8 +216,11 @@ func (p *Processor) issueFP(now int64) {
 		u.doneAt = now + int64(u.info.Lat)
 		p.inflight = append(p.inflight, u)
 		issued++
+		if first < 0 {
+			first = qi
+		}
 	}
-	p.qFP = compactQueue(p.qFP)
+	p.qFP = compactQueue(p.qFP, first)
 }
 
 // issueSIMD starts media operations. With the MMX configuration two
@@ -218,8 +230,8 @@ func (p *Processor) issueFP(now int64) {
 // which occupies the unit for ceil(SLen/pipes) cycles and delivers its
 // last sub-operation result after that occupancy plus the op latency.
 func (p *Processor) issueSIMD(now int64) {
-	issued := 0
-	for _, u := range p.qSIMD {
+	issued, first := 0, -1
+	for qi, u := range p.qSIMD {
 		if issued >= p.cfg.IssueSIMD {
 			break
 		}
@@ -248,8 +260,11 @@ func (p *Processor) issueSIMD(now int64) {
 		p.simdInFlight++
 		issued++
 		p.simdIssuedNow++
+		if first < 0 {
+			first = qi
+		}
 	}
-	p.qSIMD = compactQueue(p.qSIMD)
+	p.qSIMD = compactQueue(p.qSIMD, first)
 }
 
 // issueMem starts memory operations: one cycle of address generation,
@@ -258,8 +273,8 @@ func (p *Processor) issueSIMD(now int64) {
 // commit). A load whose line matches an older in-flight store of the
 // same thread forwards from the store queue.
 func (p *Processor) issueMem(now int64) {
-	issued := 0
-	for _, u := range p.qMem {
+	issued, first := 0, -1
+	for qi, u := range p.qMem {
 		if issued >= p.cfg.IssueMem {
 			break
 		}
@@ -268,6 +283,9 @@ func (p *Processor) issueMem(now int64) {
 		}
 		p.noteIssued(u)
 		issued++
+		if first < 0 {
+			first = qi
+		}
 		u.addrReadyAt = now + 1
 		if u.isStore {
 			u.doneAt = now + 1
@@ -290,10 +308,21 @@ func (p *Processor) issueMem(now int64) {
 				continue
 			}
 		}
-		p.loadsByTag[u.seq] = u
+		// Allocate the load's memory tag: a slot index the memory system
+		// echoes back on each element completion.
+		var slot int32
+		if n := len(p.freeSlots); n > 0 {
+			slot = p.freeSlots[n-1]
+			p.freeSlots = p.freeSlots[:n-1]
+		} else {
+			slot = int32(len(p.loadSlots))
+			p.loadSlots = append(p.loadSlots, nil)
+		}
+		u.memTag = slot
+		p.loadSlots[slot] = u
 		p.activeLoads = append(p.activeLoads, u)
 	}
-	p.qMem = compactQueue(p.qMem)
+	p.qMem = compactQueue(p.qMem, first)
 }
 
 // forwardingStore returns the youngest older issued store of the same
@@ -324,7 +353,7 @@ func (p *Processor) sendLoadElements(now int64) {
 			for u.elemsSent < u.elemsTotal {
 				addr := u.in.Addr + uint64(u.elemsSent)*uint64(u.in.Stride)
 				ok := p.memsys.Access(now, mem.Request{
-					Tag:    u.seq,
+					Tag:    uint64(u.memTag),
 					Addr:   addr,
 					Thread: uint8(u.thread),
 					Vector: u.isVector,

@@ -43,6 +43,12 @@ type uop struct {
 	elemsDone   int32
 	addrReadyAt int64
 	forwarded   bool
+
+	// memTag is the load's slot in Processor.loadSlots while its element
+	// accesses are outstanding in the memory system; -1 otherwise. The
+	// memory system echoes it back on each Completion, making completion
+	// routing an array index instead of a map lookup.
+	memTag int32
 }
 
 func (u *uop) equiv() int32 {
@@ -157,7 +163,22 @@ type Processor struct {
 
 	inflight    []*uop
 	activeLoads []*uop
-	loadsByTag  map[uint64]*uop
+
+	// loadSlots is the tag space for loads in the memory system: a load
+	// occupies one slot from issue until its last element completes, and
+	// the slot index is the Request tag. Tags are opaque identity to the
+	// memory system, so slot reuse is safe the moment a load completes
+	// (no completion can still be in flight for a freed slot: a load
+	// completes only after every element it sent has drained).
+	loadSlots []*uop
+	freeSlots []int32
+
+	// drainFn is the completion callback handed to mem.System.Drain,
+	// bound once at construction: rebuilding the closure every executed
+	// cycle was one heap allocation per cycle. drainNow carries the
+	// cycle argument.
+	drainFn  func(mem.Completion)
+	drainNow int64
 
 	// uopPool recycles retired uops: by retirement a uop has issued,
 	// completed and left every queue, waiter list and lookup structure,
@@ -202,12 +223,12 @@ func New(cfg Config, m mem.System) (*Processor, error) {
 		memsys:         m,
 		pred:           NewPredictor(cfg.PredTableBits, cfg.PredHistBits, cfg.Threads),
 		rf:             newRegFiles(&cfg),
-		loadsByTag:     make(map[uint64]*uop),
 		mediaBusyUntil: make([]int64, cfg.MediaUnits),
 		fpDivBusyUntil: make([]int64, cfg.FPDivs),
 		ordBuf:         make([]int, cfg.Threads),
 		keysBuf:        make([]int, cfg.Threads),
 	}
+	p.drainFn = p.onLoadCompletion
 	p.qInt = make([]*uop, 0, cfg.IQSize)
 	p.qMem = make([]*uop, 0, cfg.MQSize)
 	p.qFP = make([]*uop, 0, cfg.FQSize)
@@ -554,6 +575,10 @@ func (p *Processor) dispatchOne(th *threadState, now int64) bool {
 		phys, ok := p.rf.file(f).alloc()
 		if !ok {
 			p.st.RenameStalls++
+			// The uop taken from the pool above never entered the
+			// pipeline; hand it back instead of leaking it to the GC
+			// (rename stalls repeat every cycle until a register frees).
+			p.uopPool = append(p.uopPool, u)
 			return false
 		}
 		u.dstFile = f

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+
+	"mediasmt/internal/mem"
+)
+
+// Per-stage microbenchmarks. BenchmarkSimulatorThroughput (repo root)
+// measures the whole executed-cycle path; these isolate one pipeline
+// stage each so a profile-guided change to, say, issue shows up in its
+// own number instead of being averaged into everything else. Each
+// iteration times exactly one stage call against a window prepared by
+// the real surrounding stages (untimed), so the measured work is the
+// stage's steady-state behaviour, not a synthetic state no simulation
+// reaches.
+
+func benchCPU(b *testing.B, threads int) *Processor {
+	b.Helper()
+	msys := mem.NewIdeal(mem.DefaultConfig(mem.ModeIdeal))
+	p, err := New(ConfigForThreads(ISAMMX, threads), msys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Rounds far beyond any b.N: the program must never run dry.
+	for t := 0; t < threads; t++ {
+		p.SetProgram(t, aluProgram(1<<40), 1)
+	}
+	return p
+}
+
+// fillFetchQueues runs the fetch stage until every context's fetch
+// queue is full or its fetch is blocked on an unresolved mispredict
+// (resolved by the next drainWindow). A cycle with no fetch progress
+// advances time past redirect stalls.
+func fillFetchQueues(p *Processor) {
+	for {
+		satisfied := true
+		for _, th := range p.threads {
+			if th.fqCount < p.cfg.FetchQCap && !th.fetchBlocked {
+				satisfied = false
+				break
+			}
+		}
+		if satisfied {
+			return
+		}
+		before := p.st.Fetched
+		p.fetch(p.now)
+		if p.st.Fetched == before {
+			p.now++
+		}
+	}
+}
+
+// fillIssueQueues dispatches from full fetch queues until dispatch
+// makes no more progress (window or queue structural stall), leaving
+// the issue queues populated with renamed, mostly-ready uops.
+func fillIssueQueues(p *Processor) {
+	for {
+		before := len(p.qInt) + len(p.qMem) + len(p.qFP) + len(p.qSIMD)
+		beforeROB := 0
+		for _, th := range p.threads {
+			beforeROB += th.robCount
+		}
+		fillFetchQueues(p)
+		p.dispatch(p.now)
+		after := len(p.qInt) + len(p.qMem) + len(p.qFP) + len(p.qSIMD)
+		afterROB := 0
+		for _, th := range p.threads {
+			afterROB += th.robCount
+		}
+		if after == before && afterROB == beforeROB {
+			return
+		}
+	}
+}
+
+// drainWindow retires everything in flight using only the back-end
+// stages, leaving fetch queues untouched and the window empty.
+func drainWindow(p *Processor) {
+	for {
+		busy := false
+		for _, th := range p.threads {
+			if th.robCount > 0 {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return
+		}
+		now := p.now
+		p.drainMemory(now)
+		p.writeback(now)
+		p.commit(now)
+		p.sendLoadElements(now)
+		p.issue(now)
+		p.memsys.Tick(now)
+		p.now++
+	}
+}
+
+// completeWindow executes everything in the window (issue + writeback
+// cycles) without retiring it, so every ROB head is commit-ready.
+func completeWindow(p *Processor) {
+	for {
+		allDone := true
+		for _, th := range p.threads {
+			for j := 0; j < th.robCount; j++ {
+				if !th.rob[(th.robHead+j)%len(th.rob)].completed {
+					allDone = false
+					break
+				}
+			}
+			if !allDone {
+				break
+			}
+		}
+		if allDone {
+			return
+		}
+		now := p.now
+		p.writeback(now)
+		p.issue(now)
+		p.now++
+	}
+}
+
+func BenchmarkStageFetch(b *testing.B) {
+	p := benchCPU(b, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.fetch(p.now)
+		// Reset the fetch queues in place (4 writes per thread) so the
+		// next iteration fetches full groups again; leaving the reset
+		// timed keeps the loop free of timer toggles.
+		for _, th := range p.threads {
+			th.fqHead, th.fqCount = 0, 0
+			th.frontCount, th.opCount = 0, 0
+			th.fetchBlocked = false
+		}
+	}
+}
+
+func BenchmarkStageDispatchRename(b *testing.B) {
+	p := benchCPU(b, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		drainWindow(p)
+		fillFetchQueues(p)
+		b.StartTimer()
+		p.dispatch(p.now)
+	}
+}
+
+func BenchmarkStageIssue(b *testing.B) {
+	p := benchCPU(b, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		drainWindow(p)
+		fillIssueQueues(p)
+		b.StartTimer()
+		p.issue(p.now)
+	}
+}
+
+func BenchmarkStageWriteback(b *testing.B) {
+	p := benchCPU(b, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		drainWindow(p)
+		fillIssueQueues(p)
+		p.issue(p.now)
+		p.now += 64 // every issued op's latency elapses
+		b.StartTimer()
+		p.writeback(p.now)
+	}
+}
+
+func BenchmarkStageCommit(b *testing.B) {
+	p := benchCPU(b, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		drainWindow(p)
+		fillIssueQueues(p)
+		completeWindow(p)
+		b.StartTimer()
+		p.commit(p.now)
+	}
+}
+
+// BenchmarkStageCycle is the whole-pipeline reference point: one
+// executed cycle of a busy 4-thread core, the unit the per-stage
+// numbers above decompose.
+func BenchmarkStageCycle(b *testing.B) {
+	p := benchCPU(b, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Cycle()
+	}
+}

@@ -9,8 +9,13 @@ type dram struct {
 	cfg       DRAMConfig
 	st        *Stats
 	lineBytes int
+	xfer      int64 // precomputed transferCycles()
 
+	// queue is head-indexed: qhead advances on dequeue and the slice
+	// resets when it empties, so starting a request is O(1) instead of
+	// shifting the whole backlog down by one.
 	queue     []dramReq
+	qhead     int
 	rows      []uint64
 	rowValid  []bool
 	busFreeAt int64
@@ -29,20 +34,24 @@ type dramDone struct {
 }
 
 func newDRAM(cfg DRAMConfig, st *Stats, lineBytes int) *dram {
-	return &dram{
+	d := &dram{
 		cfg:       cfg,
 		st:        st,
 		lineBytes: lineBytes,
 		rows:      make([]uint64, cfg.Banks),
 		rowValid:  make([]bool, cfg.Banks),
 	}
+	d.xfer = d.transferCycles()
+	return d
 }
 
 // full reports whether the controller queue has no room for new reads.
 // Writebacks are always accepted (they drain from a buffered path).
 func (d *dram) full() bool {
-	return len(d.queue) >= d.cfg.QueueCap
+	return d.queueLen() >= d.cfg.QueueCap
 }
+
+func (d *dram) queueLen() int { return len(d.queue) - d.qhead }
 
 func (d *dram) enqueue(r dramReq) {
 	d.queue = append(d.queue, r)
@@ -59,10 +68,10 @@ func (d *dram) transferCycles() int64 {
 // both the queue and the channel are empty.
 func (d *dram) nextEvent(now int64) int64 {
 	t := NoEvent
-	if len(d.queue) > 0 {
+	if d.queueLen() > 0 {
 		// tick admits a request once the bus backlog is shallow enough:
 		// busFreeAt <= tick + 2*transfer.
-		admit := d.busFreeAt - 2*d.transferCycles()
+		admit := d.busFreeAt - 2*d.xfer
 		if admit <= now {
 			return now
 		}
@@ -84,15 +93,18 @@ func (d *dram) nextEvent(now int64) int64 {
 // with other transfers; only the data transfer serializes on the
 // channel, so a busy queue streams lines at the full 3.2 GB/s.
 func (d *dram) tick(now int64, deliver func(ctx int)) {
-	for starts := 0; starts < 2 && len(d.queue) > 0; starts++ {
+	for starts := 0; starts < 2 && d.queueLen() > 0; starts++ {
 		// Do not run unboundedly ahead of time: admit a request only
 		// when the bus backlog is shallow enough to schedule it now.
-		if d.busFreeAt > now+2*d.transferCycles() {
+		if d.busFreeAt > now+2*d.xfer {
 			break
 		}
-		r := d.queue[0]
-		copy(d.queue, d.queue[1:])
-		d.queue = d.queue[:len(d.queue)-1]
+		r := d.queue[d.qhead]
+		d.qhead++
+		if d.qhead == len(d.queue) {
+			d.queue = d.queue[:0]
+			d.qhead = 0
+		}
 
 		// Row-interleaved mapping: consecutive lines fill one row of one
 		// bank before moving to the next bank, which is what gives
@@ -114,7 +126,7 @@ func (d *dram) tick(now int64, deliver func(ctx int)) {
 		if d.busFreeAt > start {
 			start = d.busFreeAt
 		}
-		done := start + d.transferCycles()
+		done := start + d.xfer
 		d.st.DRAMBusyCyc += done - start
 		d.busFreeAt = done
 		if r.write {

@@ -109,6 +109,14 @@ type Real struct {
 	l2Bank []int64
 	vecm   []vecMSHR
 
+	// Maintained occupancy counts, so the per-tick retry loops and
+	// NextEvent can skip their scans on the (common) cycles where the
+	// structures are empty: wbValid counts valid write-buffer entries,
+	// l2mUnsent counts valid L2 MSHRs that have not reached the DRAM
+	// controller queue yet.
+	wbValid   int
+	l2mUnsent int
+
 	dram *dram
 
 	done []donePair
@@ -144,8 +152,13 @@ func (m *Real) Stats() *Stats { return &m.st }
 func (m *Real) l1Line(addr uint64) uint64 { return addr >> m.l1LineShift << m.l1LineShift }
 func (m *Real) l2Line(addr uint64) uint64 { return addr >> m.l2LineShift << m.l2LineShift }
 
-// wbFind returns the write-buffer slot holding the line, or -1.
+// wbFind returns the write-buffer slot holding the line, or -1. The
+// occupancy count makes the empty-buffer probe — the common case on
+// load-dominated phases — a single compare instead of a scan.
 func (m *Real) wbFind(line uint64) int {
+	if m.wbValid == 0 {
+		return -1
+	}
 	for i := range m.wb {
 		if m.wb[i].valid && m.wb[i].line == line {
 			return i
@@ -233,6 +246,7 @@ func (m *Real) Access(now int64, r Request) bool {
 				return false
 			}
 			m.wb[free] = wbEntry{valid: true, line: line}
+			m.wbValid++
 		}
 		m.st.StoreAccesses++
 		if r.Vector {
@@ -520,9 +534,11 @@ func (m *Real) Tick(now int64) {
 	m.dram.tick(now, func(ctx int) { m.dramFill(now, ctx) })
 
 	// Retry L2 MSHRs that could not reach the DRAM controller queue.
-	for i := range m.l2m {
-		if m.l2m[i].valid && !m.l2m[i].sentDRAM {
-			m.sendDRAM(i)
+	if m.l2mUnsent > 0 {
+		for i := range m.l2m {
+			if m.l2m[i].valid && !m.l2m[i].sentDRAM {
+				m.sendDRAM(i)
+			}
 		}
 	}
 
@@ -562,11 +578,12 @@ func (m *Real) Tick(now int64) {
 	m.l2q = m.l2q[:w]
 
 	// Drain one write-buffer entry per cycle into L2.
-	if m.l2qLen() < l2QueueCap {
+	if m.wbValid > 0 && m.l2qLen() < l2QueueCap {
 		for i := range m.wb {
 			if m.wb[i].valid {
 				m.l2qIn = append(m.l2qIn, l2req{kind: l2WBWrite, addr: m.wb[i].line, acceptedAt: now})
 				m.wb[i].valid = false
+				m.wbValid--
 				m.st.WBDrains++
 				break
 			}
@@ -614,15 +631,11 @@ func (m *Real) NextEvent(now int64) int64 {
 		}
 		min(rq.readyAt)
 	}
-	for i := range m.l2m {
-		if m.l2m[i].valid && !m.l2m[i].sentDRAM {
-			return now // retries the DRAM controller queue every tick
-		}
+	if m.l2mUnsent > 0 {
+		return now // retries the DRAM controller queue every tick
 	}
-	for i := range m.wb {
-		if m.wb[i].valid {
-			return now // the write buffer drains one entry per tick
-		}
+	if m.wbValid > 0 {
+		return now // the write buffer drains one entry per tick
 	}
 	min(m.dram.nextEvent(now))
 	return t
@@ -669,6 +682,7 @@ func (m *Real) resolveL2(now int64, rq l2req) bool {
 			e.line = line
 			e.sentDRAM = false
 			e.waiters = append(e.waiters[:0], rq)
+			m.l2mUnsent++
 			m.st.L2Misses++
 			m.sendDRAM(i)
 			return true
@@ -685,6 +699,7 @@ func (m *Real) sendDRAM(idx int) {
 	}
 	m.dram.enqueue(dramReq{lineAddr: e.line, ctx: idx})
 	e.sentDRAM = true
+	m.l2mUnsent--
 }
 
 // dramFill installs a line returned by DRAM into L2 and replays the

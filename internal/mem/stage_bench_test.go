@@ -1,0 +1,158 @@
+package mem
+
+import "testing"
+
+// Per-stage microbenchmarks for the memory system, the Tick/Drain/
+// Access half of the executed-cycle hot path. Each isolates one
+// transaction shape — L1 hit, L1-miss/L2-hit, MSHR merge, DRAM queue
+// drain — so profile-guided changes to one path move its own number.
+
+// BenchmarkMemL1Hit times the fast path: a primed line accessed once
+// per cycle, completion drained the cycle after.
+func BenchmarkMemL1Hit(b *testing.B) {
+	m := convSystem()
+	got := map[uint64]int64{}
+	if !m.Access(0, Request{Tag: 1, Addr: 0x10000}) {
+		b.Fatal("prime access rejected")
+	}
+	drive(m, 0, 300, got)
+	delivered := 0
+	cb := func(c Completion) { delivered++ }
+	now := int64(300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !m.Access(now, Request{Tag: 1, Addr: 0x10000}) {
+			b.Fatal("hit access rejected")
+		}
+		now++
+		m.Drain(now, cb)
+		m.Tick(now)
+	}
+	if delivered == 0 {
+		b.Fatal("no completions delivered")
+	}
+}
+
+// BenchmarkMemL1MissL2Hit times a full L1-miss/L2-hit transaction:
+// the walked footprint (64 KB) is double the L1 but well inside the
+// L2, so after priming every access misses L1 and hits L2.
+func BenchmarkMemL1MissL2Hit(b *testing.B) {
+	m := convSystem()
+	const lines = 2048 // 64 KB of 32-byte lines
+	const base = uint64(0x100000)
+	got := map[uint64]int64{}
+	now := int64(0)
+	prime := func(addr uint64) {
+		for !m.Access(now, Request{Tag: 1, Addr: addr}) {
+			drive(m, now, 1, got)
+			now++
+		}
+		drive(m, now, 4, got)
+		now += 4
+	}
+	for i := 0; i < lines; i++ {
+		prime(base + uint64(i)*32)
+	}
+	drive(m, now, 500, got)
+	now += 500
+
+	delivered := 0
+	cb := func(c Completion) { delivered++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := base + uint64(i%lines)*32
+		for !m.Access(now, Request{Tag: 2, Addr: addr}) {
+			m.Drain(now, cb)
+			m.Tick(now)
+			now++
+		}
+		before := delivered
+		for delivered == before {
+			now++
+			m.Drain(now, cb)
+			m.Tick(now)
+		}
+	}
+	b.StopTimer()
+	if m.Stats().L2Hits == 0 {
+		b.Fatal("no L2 hits measured")
+	}
+}
+
+// BenchmarkMemMSHRMerge times the secondary-miss path: a second load
+// to an outstanding line merges into its MSHR as a delayed hit. The
+// two target lines conflict in the direct-mapped L1, so every
+// iteration's primary access is a fresh miss.
+func BenchmarkMemMSHRMerge(b *testing.B) {
+	m := convSystem()
+	got := map[uint64]int64{}
+	// Warm both lines into L2 so the merge path under measurement is
+	// L1-miss/L2-hit, the common case.
+	if !m.Access(0, Request{Tag: 1, Addr: 0x40000}) {
+		b.Fatal("prime rejected")
+	}
+	drive(m, 0, 300, got)
+	if !m.Access(300, Request{Tag: 1, Addr: 0x48000}) {
+		b.Fatal("prime rejected")
+	}
+	drive(m, 300, 300, got)
+
+	delivered := 0
+	cb := func(c Completion) { delivered++ }
+	now := int64(600)
+	mergesBefore := m.Stats().L1DelayedHits
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// 0x40000 and 0x48000 are 32 KB apart: same L1 set.
+		addr := uint64(0x40000) + uint64(i%2)*0x8000
+		for !m.Access(now, Request{Tag: 1, Addr: addr}) {
+			m.Drain(now, cb)
+			m.Tick(now)
+			now++
+		}
+		now++
+		m.Drain(now, cb)
+		m.Tick(now)
+		// Secondary access to the same outstanding line: MSHR merge.
+		m.Access(now, Request{Tag: 2, Addr: addr + 8})
+		before := delivered
+		for delivered < before+2 {
+			now++
+			m.Drain(now, cb)
+			m.Tick(now)
+		}
+	}
+	b.StopTimer()
+	if m.Stats().L1DelayedHits == mergesBefore {
+		b.Fatal("no MSHR merges measured")
+	}
+}
+
+// BenchmarkMemDRAMQueue times the Direct Rambus controller draining a
+// burst of queued reads: enqueue, row activation, serialized bus
+// transfers, delivery.
+func BenchmarkMemDRAMQueue(b *testing.B) {
+	st := &Stats{}
+	d := newDRAM(DefaultConfig(ModeConventional).DRAM, st, 128)
+	delivered := 0
+	cb := func(ctx int) { delivered++ }
+	now := int64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 8; j++ {
+			d.enqueue(dramReq{lineAddr: uint64(i*8+j) * 128, ctx: j})
+		}
+		for d.queueLen() > 0 || len(d.inflight) > 0 {
+			d.tick(now, cb)
+			now++
+		}
+	}
+	b.StopTimer()
+	if delivered != 8*b.N {
+		b.Fatalf("delivered %d reads, want %d", delivered, 8*b.N)
+	}
+}

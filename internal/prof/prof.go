@@ -1,0 +1,72 @@
+// Package prof wires runtime/pprof collection behind the
+// -cpuprofile/-memprofile flags shared by cmd/smtsim and cmd/exps, so
+// both front-ends expose the same profiling surface as `go test`
+// without duplicating the file handling. The long-running daemon
+// (cmd/expsd) serves net/http/pprof instead — sampling windows of a
+// server's lifetime beats one whole-process profile there.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath and arranges for a heap
+// profile at memPath; an empty path disables that collector. The
+// returned stop function finishes both profiles and must be called
+// exactly once before the process exits — os.Exit skips defers, so
+// callers with explicit exit points invoke it on those paths too.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			if err := writeHeap(memPath); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}
+
+func writeHeap(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mem profile: %w", err)
+	}
+	// Match `go test -memprofile`: run a GC first so the heap profile
+	// reflects live data and complete allocation counts, not whatever
+	// the last background cycle happened to see.
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("mem profile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("mem profile: %w", err)
+	}
+	return nil
+}

@@ -68,6 +68,12 @@ type Script struct {
 	si      int
 	emitted int64
 	done    bool
+
+	// ctx is the reused callback context. Passing a stack-local Ctx to
+	// the Addr/Taken function values makes it escape, costing one heap
+	// allocation per memory or branch instruction — on the simulator's
+	// hot path that is most of the trace generator's allocation volume.
+	ctx Ctx
 }
 
 // NewScript builds a script. It validates phase bodies eagerly: memory
@@ -214,9 +220,9 @@ func (s *Script) Next(in *Inst) bool {
 		}
 	}
 
-	ctx := Ctx{Iter: s.iter, Round: s.round, RNG: &s.rng}
+	s.ctx.Iter, s.ctx.Round, s.ctx.RNG = s.iter, s.round, &s.rng
 	if inf.Mem != isa.MemNone {
-		in.Addr = sl.Addr(&ctx)
+		in.Addr = sl.Addr(&s.ctx)
 		if in.Stride == 0 {
 			in.Stride = isa.VecElemBytes
 		}
@@ -227,7 +233,7 @@ func (s *Script) Next(in *Inst) bool {
 		case !inf.Cond:
 			in.Taken = true
 		case sl.Taken != nil:
-			in.Taken = sl.Taken(&ctx)
+			in.Taken = sl.Taken(&s.ctx)
 		case sl.TargetOff < 0:
 			// Default backward conditional branch: loop back-edge,
 			// taken until the phase activation's last iteration.

@@ -398,7 +398,11 @@ func protocolPhase(p protoParams) trace.Phase {
 	}
 
 	alu := []isa.Opcode{isa.ADDQ, isa.SUBQ, isa.AND, isa.BIS, isa.XOR, isa.SRA, isa.SLL, isa.S4ADDQ, isa.CMPULT, isa.ZAPNOT}
-	var body []trace.Slot
+	// The loop below overshoots p.slots-3 by at most two slots and
+	// loopTail appends three more; sizing the body up front spares the
+	// doubling reallocations on every protocol phase of every program
+	// launch (several hundred slots each).
+	body := make([]trace.Slot, 0, p.slots+4)
 	for len(body) < p.slots-3 {
 		switch rng.Intn(10) {
 		case 0: // table lookup and field extraction
